@@ -1,0 +1,59 @@
+"""Benches for the design-choice ablations DESIGN.md calls out."""
+
+from common import run_figure
+
+from repro.experiments.ablations import (
+    ablation_gradient_threshold,
+    ablation_interpolation,
+    ablation_k_window,
+    ablation_reuse_radius,
+    ablation_upsampling,
+)
+
+
+def test_ablation_upsampling(benchmark):
+    result = run_figure(benchmark, ablation_upsampling, "Ablation — ToF upsampling K")
+    rows = {r["K"]: r for r in result["rows"]}
+    # K=4 beats K=1 on ranging error (finer resolution)...
+    assert rows[4]["median_err_m"] <= rows[1]["median_err_m"] + 0.5
+    # ... while K=8 buys almost nothing over K=4 (the paper's point).
+    assert rows[8]["median_err_m"] >= rows[4]["median_err_m"] - 1.0
+
+
+def test_ablation_interpolation(benchmark):
+    result = run_figure(benchmark, ablation_interpolation, "Ablation — REM interpolation")
+    errs = {r["interp"]: r["median_err_db"] for r in result["rows"]}
+    # The paper's IDW beats nearest-cell, and the power/neighbour
+    # variations stay within a small band (footnote 3's claim).
+    assert errs["idw-p2-k12 (paper)"] <= errs["nearest"] + 0.25
+    band = [v for k, v in errs.items() if k.startswith("idw")]
+    assert max(band) - min(band) < 3.0
+
+
+def test_ablation_gradient_threshold(benchmark):
+    result = run_figure(
+        benchmark, ablation_gradient_threshold, "Ablation — gradient threshold", seeds=(0,)
+    )
+    rows = result["rows"]
+    # All quantiles produce a working system; the median is not a
+    # cliff-edge choice.
+    for row in rows:
+        assert row["relative_throughput"] > 0.25
+
+
+def test_ablation_reuse_radius(benchmark):
+    result = run_figure(
+        benchmark, ablation_reuse_radius, "Ablation — reuse radius R", seeds=(0,)
+    )
+    rows = {r["radius_m"]: r for r in result["rows"]}
+    # A nonzero radius produces store hits under mobility; R=0 cannot.
+    assert rows[0.0]["store_hits"] == 0
+    assert rows[25.0]["store_hits"] >= rows[5.0]["store_hits"]
+
+
+def test_ablation_k_window(benchmark):
+    result = run_figure(
+        benchmark, ablation_k_window, "Ablation — planner K window", seeds=(0,)
+    )
+    for row in result["rows"]:
+        assert row["relative_throughput"] > 0.25

@@ -1,0 +1,14 @@
+"""Bench for Fig. 1 — the UAV positioning motivation map."""
+
+from common import run_figure
+
+from repro.experiments.fig01_motivation import run
+
+
+def test_fig01_motivation(benchmark):
+    result = run_figure(benchmark, run, "Fig. 1 — positioning motivation (NYC, 20 UEs)")
+    row = result["rows"][0]
+    # Shape: favorable positions are rare and far above the median.
+    assert row["frac_ge_26mbps"] < 0.15
+    assert row["optimal_mbps"] > 25.0
+    assert row["optimal_mbps"] > 2.0 * row["median_mbps"]

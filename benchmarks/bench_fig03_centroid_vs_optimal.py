@@ -1,0 +1,12 @@
+"""Bench for Fig. 3 — centroid placement is suboptimal."""
+
+from common import run_figure
+
+from repro.experiments.fig03_centroid_vs_optimal import run
+
+
+def test_fig03_centroid_vs_optimal(benchmark):
+    result = run_figure(benchmark, run, "Fig. 3 — centroid vs optimal (campus, 3 UEs)")
+    # Shape: the centroid leaves a large fraction of the optimal
+    # throughput on the table (paper: 30-50%).
+    assert result["mean_ratio"] < 0.85

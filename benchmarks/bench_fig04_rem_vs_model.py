@@ -1,0 +1,17 @@
+"""Bench for Fig. 4 — data-driven REMs vs propagation models."""
+
+from common import run_figure
+
+from repro.experiments.fig04_rem_vs_model import run
+
+
+def test_fig04_rem_vs_model(benchmark):
+    result = run_figure(benchmark, run, "Fig. 4 — data-driven vs model REM error")
+    rows = result["rows"]
+    # Shape: the model's error grows with terrain complexity...
+    assert rows[-1]["model_based_db"] > rows[0]["model_based_db"]
+    # ... and the data-driven map beats the model everywhere, by a
+    # growing factor (paper: up to ~4x).
+    for row in rows:
+        assert row["data_driven_db"] < row["model_based_db"]
+    assert rows[-1]["model_over_data"] > 2.0

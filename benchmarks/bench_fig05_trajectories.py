@@ -1,0 +1,16 @@
+"""Bench for Figs. 5/16 — trajectory coverage of informative regions."""
+
+from common import run_figure
+
+from repro.experiments.fig05_trajectories import run
+
+
+def test_fig05_trajectories(benchmark):
+    result = run_figure(benchmark, run, "Figs. 5/16 — trajectory coverage")
+    rows = {r["trajectory"]: r for r in result["rows"]}
+    # Shape: SkyRAN collects informative cells more efficiently per
+    # kilometre than the uniform sweep; the exhaustive flight covers
+    # everything but at several times the cost.
+    assert rows["skyran-800m"]["coverage_per_km"] > rows["uniform-800m"]["coverage_per_km"]
+    assert rows["exhaustive"]["hot_coverage"] > 0.95
+    assert rows["exhaustive"]["length_m"] > 4 * rows["skyran-800m"]["length_m"]

@@ -1,0 +1,16 @@
+"""Bench for Fig. 6 — location-aware vs naive probing efficiency."""
+
+from common import run_figure
+
+from repro.experiments.fig06_location_aware import run
+
+
+def test_fig06_location_aware(benchmark):
+    result = run_figure(benchmark, run, "Fig. 6 — location-aware vs naive probing")
+    rows = result["rows"]
+    # Shape: at small probing fractions, location-aware probing is
+    # far more accurate than the naive sweep (paper: 5 vs 16 dB).
+    assert rows[0]["aware_err_db"] < rows[0]["naive_err_db"]
+    assert rows[1]["aware_err_db"] < rows[1]["naive_err_db"]
+    # And the aware curve improves monotonically-ish with budget.
+    assert rows[-1]["aware_err_db"] <= rows[0]["aware_err_db"]

@@ -1,0 +1,12 @@
+"""Bench for Fig. 7 — path loss variation along a flight segment."""
+
+from common import run_figure
+
+from repro.experiments.fig07_pathloss_variation import run
+
+
+def test_fig07_pathloss_variation(benchmark):
+    result = run_figure(benchmark, run, "Fig. 7 — path loss along a 50 m segment")
+    row = result["rows"][0]
+    # Shape: the 50 m segment swings by tens of dB (paper: ~20 dB).
+    assert row["swing_db"] > 15.0

@@ -1,0 +1,21 @@
+"""Bench for Fig. 8 — optimal-altitude interior minimum."""
+
+import numpy as np
+from common import run_figure
+
+from repro.experiments.fig08_altitude import run
+
+
+def test_fig08_altitude(benchmark):
+    result = run_figure(benchmark, run, "Fig. 8 — path loss vs altitude")
+    row = result["rows"][0]
+    # Shape: an interior minimum — both the ceiling and the floor are
+    # worse than the best altitude.
+    assert row["loss_at_best_db"] < row["loss_at_120m_db"]
+    assert row["loss_at_best_db"] < row["loss_at_10m_db"]
+    assert 10.0 < row["best_altitude_m"] < 120.0
+    # The paper's descend-and-track procedure lands near the true best.
+    assert abs(row["tracked_altitude_m"] - row["best_altitude_m"]) <= 15.0
+    # The full profile rises steeply below the optimum.
+    losses = np.asarray(result["path_loss_db"])
+    assert losses[0] > losses.min() + 5.0

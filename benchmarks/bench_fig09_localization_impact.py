@@ -1,0 +1,16 @@
+"""Bench for Fig. 9 — localization error vs placement quality."""
+
+from common import run_figure
+
+from repro.experiments.fig09_localization_impact import run
+
+
+def test_fig09_localization_impact(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 9 — impact of localization error", errors=(0.0, 10.0, 25.0)
+    )
+    rows = result["rows"]
+    # Shape: performance degrades as the injected error grows, and
+    # small errors keep most of the optimal throughput.
+    assert rows[0]["relative_throughput"] >= rows[-1]["relative_throughput"] - 0.05
+    assert rows[0]["relative_throughput"] > 0.6

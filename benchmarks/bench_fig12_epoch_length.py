@@ -1,0 +1,17 @@
+"""Bench for Fig. 12 — throughput decay without repositioning."""
+
+from common import run_figure
+
+from repro.experiments.fig12_epoch_length import run
+
+
+def test_fig12_epoch_length(benchmark):
+    result = run_figure(benchmark, run, "Fig. 12 — decay under UE mobility")
+    rows = result["rows"]
+    # Shape: throughput decays over the hour for every moving
+    # fraction, and a 10% threshold buys a non-trivial epoch.
+    for row in rows:
+        assert row["rel_at_60min"] <= 1.05
+        assert row["epoch_at_10pct_min"] > 0.0
+    # More movers lose at least as much by the end of the hour.
+    assert rows[-1]["rel_at_60min"] <= rows[0]["rel_at_60min"] + 0.15

@@ -1,0 +1,17 @@
+"""Bench for Fig. 14 — per-UE SNR distributions during a flight."""
+
+from common import run_figure
+
+from repro.experiments.fig14_snr_distributions import run
+
+
+def test_fig14_snr_distributions(benchmark):
+    result = run_figure(benchmark, run, "Fig. 14 — per-UE SNR distributions")
+    rows = result["rows"]
+    # Shape: every UE sees highly varying channel conditions over the
+    # flight (the paper's histograms span tens of dB).
+    for row in rows:
+        assert row["snr_spread_db"] > 8.0
+    spreads = [row["snr_spread_db"] for row in rows]
+    # And the deployment mixes mild and harsh UEs.
+    assert max(spreads) > 1.5 * min(spreads)

@@ -1,0 +1,14 @@
+"""Bench for Fig. 17 — SRS/ToF ranging error CDF."""
+
+from common import run_figure
+
+from repro.experiments.fig17_ranging_cdf import run
+
+
+def test_fig17_ranging_cdf(benchmark):
+    result = run_figure(benchmark, run, "Fig. 17 — ranging error CDF", seeds=(0, 1, 2))
+    all_row = next(r for r in result["rows"] if r["ue"] == "all")
+    # Shape: metre-scale ranging from a 20 m flight (paper: 4-5 m
+    # median; our refined correlator sits slightly below).
+    assert all_row["median_m"] < 6.0
+    assert all_row["p90_m"] < 25.0

@@ -1,0 +1,19 @@
+"""Bench for Fig. 19 — localization accuracy vs flight length."""
+
+from common import run_figure
+
+from repro.experiments.fig19_loc_vs_flightlen import run
+
+
+def test_fig19_loc_vs_flightlen(benchmark):
+    result = run_figure(
+        benchmark,
+        run,
+        "Fig. 19 — localization vs flight length",
+        lengths=(5.0, 15.0, 30.0),
+        seeds=(0, 1, 2),
+    )
+    rows = result["rows"]
+    # Shape: very short flights are catastrophically worse; accuracy
+    # saturates once the flight reaches a few tens of meters.
+    assert rows[0]["median_err_m"] > 2.0 * rows[-1]["median_err_m"]

@@ -1,0 +1,23 @@
+"""Bench for Fig. 20 — REM error vs measurement flight time."""
+
+from common import run_figure
+
+from repro.experiments.fig20_rem_vs_time import run
+
+
+def test_fig20_rem_vs_time(benchmark):
+    result = run_figure(
+        benchmark,
+        run,
+        "Fig. 20 — REM error vs flight time",
+        times_s=(20.0, 60.0, 120.0),
+        seeds=(0, 1),
+    )
+    rows = result["rows"]
+    # Shape: both schemes improve with time; SkyRAN converges faster
+    # and sits below Uniform at every budget (paper: 3 dB by 82 s vs
+    # Uniform still ~7 dB at 120 s).
+    assert rows[-1]["skyran_err_db"] <= rows[0]["skyran_err_db"]
+    for row in rows:
+        assert row["skyran_err_db"] <= row["uniform_err_db"] + 0.5
+    assert rows[0]["skyran_err_db"] < rows[0]["uniform_err_db"]

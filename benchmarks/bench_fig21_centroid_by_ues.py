@@ -1,0 +1,23 @@
+"""Bench for Fig. 21 — Centroid placement quality vs UE count."""
+
+import numpy as np
+from common import run_figure
+
+from repro.experiments.fig21_centroid_by_ues import run
+
+
+def test_fig21_centroid_by_ues(benchmark):
+    result = run_figure(
+        benchmark,
+        run,
+        "Fig. 21 — Centroid relative throughput",
+        ue_counts=(2, 4, 7),
+        seeds=(0, 1, 2, 3),
+    )
+    rows = result["rows"]
+    # Shape: Centroid leaves a large gap to optimal at every UE count
+    # (paper: 0.4-0.6x of optimal).
+    mean_rel = np.mean([r["centroid_relative"] for r in rows])
+    assert mean_rel < 0.85
+    for row in rows:
+        assert row["centroid_relative"] < 1.0

@@ -1,0 +1,25 @@
+"""Bench for Fig. 23 — relative throughput vs budget, two topologies."""
+
+from common import run_figure
+
+from repro.experiments.fig23_budget_topologies import run
+
+
+def test_fig23_budget_topologies(benchmark):
+    result = run_figure(
+        benchmark,
+        run,
+        "Fig. 23 — throughput vs measurement budget",
+        budgets=(200.0, 600.0, 1000.0),
+        seeds=(0, 1),
+    )
+    rows = result["rows"]
+    clustered = [r for r in rows if r["topology"] == "B-clustered"]
+    uniform_topo = [r for r in rows if r["topology"] == "A-uniform"]
+    # Shape: in the clustered topology SkyRAN dominates Uniform at
+    # every budget (paper: ~2x at small budgets, 0.95 vs 0.7 at 1 km).
+    for row in clustered:
+        assert row["skyran_rel"] > row["uniform_rel"]
+    # And SkyRAN improves (or holds) as the budget grows.
+    assert uniform_topo[-1]["skyran_rel"] >= uniform_topo[0]["skyran_rel"] - 0.05
+    assert clustered[-1]["skyran_rel"] >= 0.7

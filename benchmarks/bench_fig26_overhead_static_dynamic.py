@@ -1,0 +1,17 @@
+"""Bench for Fig. 26 — overhead to 0.9x optimal, STATIC vs DYNAMIC."""
+
+from common import run_figure
+
+from repro.experiments.fig26_overhead_static_dynamic import run
+
+
+def test_fig26_overhead_static_dynamic(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 26 — overhead to 0.9x optimal (NYC)", seeds=(0, 1)
+    )
+    rows = {r["mode"]: r for r in result["rows"]}
+    # Shape: dynamics cost extra flight time, and SkyRAN needs no more
+    # overhead than Uniform in either mode (paper: about half).
+    assert rows["DYNAMIC"]["skyran_time_s"] >= rows["STATIC"]["skyran_time_s"] * 0.5
+    for row in result["rows"]:
+        assert row["skyran_time_s"] <= row["uniform_time_s"] * 1.35

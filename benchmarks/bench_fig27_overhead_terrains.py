@@ -1,0 +1,16 @@
+"""Bench for Fig. 27 — overhead to 0.9x optimal across terrains."""
+
+from common import run_figure
+
+from repro.experiments.fig27_overhead_terrains import run
+
+
+def test_fig27_overhead_terrains(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 27 — overhead per terrain", seeds=(0,)
+    )
+    rows = {r["terrain"]: r for r in result["rows"]}
+    # Shape: the 16x-larger LARGE terrain costs more flight time than
+    # the small ones, for both schemes.
+    assert rows["large"]["skyran_time_min"] > rows["rural"]["skyran_time_min"]
+    assert rows["large"]["uniform_time_min"] > rows["rural"]["uniform_time_min"]

@@ -1,0 +1,15 @@
+"""Bench for Fig. 28 — overhead to a 5 dB REM, STATIC vs DYNAMIC."""
+
+from common import run_figure
+
+from repro.experiments.fig28_rem_overhead import run
+
+
+def test_fig28_rem_overhead(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 28 — overhead to 5 dB REMs (NYC)", seeds=(0, 1)
+    )
+    # Shape: SkyRAN reaches accurate maps in no more flight time than
+    # Uniform (paper: about half), in both dynamics modes.
+    for row in result["rows"]:
+        assert row["skyran_time_min"] <= row["uniform_time_min"] * 1.35

@@ -1,0 +1,18 @@
+"""Bench for Figs. 29 — throughput at a 5000 m total budget, by terrain."""
+
+from common import run_figure
+
+from repro.experiments.fig29_budget_terrains import run
+
+
+def test_fig29_budget_terrains(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 29 — 5000 m budget across terrains", seeds=(0,)
+    )
+    rows = {r["terrain"]: r for r in result["rows"]}
+    # Shape: SkyRAN at least matches Uniform everywhere and wins
+    # clearly on the complex terrains (paper: ~1.4x on NYC/LARGE,
+    # parity on RURAL).
+    for terrain in ("nyc", "large"):
+        assert rows[terrain]["skyran_over_uniform"] > 0.95
+    assert rows["rural"]["skyran_over_uniform"] > 0.7

@@ -1,0 +1,16 @@
+"""Bench for Fig. 30 — REM accuracy at the 5000 m budget, by terrain."""
+
+from common import run_figure
+
+from repro.experiments.fig30_rem_budget_terrains import run
+
+
+def test_fig30_rem_budget_terrains(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 30 — REM accuracy at 5000 m budget", seeds=(0,)
+    )
+    # Shape: SkyRAN's maps are at least as accurate as Uniform's on
+    # the complex terrains (paper: several dB better).
+    rows = {r["terrain"]: r for r in result["rows"]}
+    for terrain in ("nyc", "large"):
+        assert rows[terrain]["skyran_rem_db"] <= rows[terrain]["uniform_rem_db"] + 1.5

@@ -1,0 +1,18 @@
+"""Bench for Fig. 31 — relative throughput vs number of UEs."""
+
+import numpy as np
+from common import run_figure
+
+from repro.experiments.fig31_num_ues import run
+
+
+def test_fig31_num_ues(benchmark):
+    result = run_figure(
+        benchmark, run, "Fig. 31 — throughput vs #UEs (NYC)", ue_counts=(2, 6, 10), seeds=(0,)
+    )
+    rows = result["rows"]
+    # Shape: SkyRAN stays at or above Uniform across UE counts (the
+    # paper shows SkyRAN above Uniform throughout, improving to ~8).
+    sky = np.mean([r["skyran_rel"] for r in rows])
+    uni = np.mean([r["uniform_rel"] for r in rows])
+    assert sky >= uni - 0.1

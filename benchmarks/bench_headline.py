@@ -1,0 +1,22 @@
+"""Bench for the paper's headline claims (abstract / Section 4.5)."""
+
+from common import run_figure
+
+from repro.experiments.headline import run
+
+
+def test_headline(benchmark):
+    result = run_figure(
+        benchmark,
+        run,
+        "Headline — SkyRAN vs baselines",
+        seeds=(0, 1, 2),
+        budget_m=450.0,
+    )
+    row = result["rows"][0]
+    # Shape: SkyRAN lands most of the optimal throughput with a short
+    # measurement flight and beats both baselines (paper: 0.9-0.95x,
+    # ~2x Uniform, ~1.5x Centroid).
+    assert row["skyran_rel"] > 0.75
+    assert row["sky_over_uniform"] > 1.0
+    assert row["sky_over_centroid"] > 1.0

@@ -1,0 +1,13 @@
+"""Bench for the Section 2.3 argument — REMs over throughput maps."""
+
+from common import run_figure
+
+from repro.experiments.rem_vs_throughput_map import run
+
+
+def test_rem_vs_throughput_map(benchmark):
+    result = run_figure(benchmark, run, "Section 2.3 — REM vs throughput map")
+    # Shape: predicting throughput via the SNR map beats interpolating
+    # throughput directly, at every sampling density.
+    for row in result["rows"]:
+        assert row["rem_path_err_mbps"] <= row["tputmap_path_err_mbps"] + 1e-9

@@ -1,0 +1,23 @@
+"""Shared helper for the figure benches.
+
+Every bench runs its figure's experiment exactly once under
+pytest-benchmark (the experiments are whole-system simulations, not
+microbenchmarks — one round is the honest measurement), prints the
+reproduced rows next to the paper's claim, and asserts the *shape*
+assertions that make the reproduction meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.common import print_rows
+
+
+def run_figure(benchmark, run_fn: Callable[..., Dict], title: str, **kwargs) -> Dict:
+    """Run a figure experiment once under the benchmark fixture."""
+    result = benchmark.pedantic(
+        lambda: run_fn(quick=True, **kwargs), rounds=1, iterations=1
+    )
+    print_rows(title, result["rows"], result.get("paper"))
+    return result

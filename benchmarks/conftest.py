@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Makes ``common.py`` importable when pytest is invoked from the repo
+root (the benchmarks directory is not a package on purpose — each
+bench is a standalone reproduction script).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

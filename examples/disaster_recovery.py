@@ -1,0 +1,100 @@
+"""Disaster-recovery deployment: SkyRAN vs baselines over a large area.
+
+The paper's motivating scenario (Section 1): fixed infrastructure is
+down, a UAV LTE cell is flown into a semi-urban area and must serve
+survivors whose positions change as they move between shelters.  We
+run SkyRAN and both baselines for several epochs with UEs relocating
+between epochs, and compare throughput delivered per meter of
+measurement flight.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CentroidController,
+    Scenario,
+    SkyRANConfig,
+    SkyRANController,
+    UniformController,
+)
+from repro.sim.runner import run_epochs
+
+TERRAIN = "campus"  # the testbed world; try "nyc" for the hardest case
+N_UES = 6
+N_EPOCHS = 3
+BUDGET_PER_EPOCH_M = 700.0
+MOVE_FRACTION = 0.4
+ALTITUDE_M = 60.0
+
+
+def run_skyran() -> None:
+    scenario = Scenario.create(TERRAIN, n_ues=N_UES, cell_size=2.0, seed=11)
+    cfg = SkyRANConfig(rem_cell_size_m=4.0)
+    ctrl = SkyRANController(scenario.channel, scenario.enodeb, cfg, seed=3)
+    ctrl.altitude = ALTITUDE_M
+    print(f"\nSkyRAN over {TERRAIN.upper()} ({N_UES} UEs, {MOVE_FRACTION:.0%} move/epoch):")
+    records = run_epochs(
+        scenario,
+        ctrl,
+        N_EPOCHS,
+        budget_per_epoch_m=BUDGET_PER_EPOCH_M,
+        move_fraction=MOVE_FRACTION,
+        seed=7,
+    )
+    for rec in records:
+        print(
+            f"  epoch {rec.epoch}: rel throughput {rec.relative_throughput:.2f}, "
+            f"REM err {rec.rem_error_db:.1f} dB, "
+            f"cumulative flight {rec.cumulative_distance_m:.0f} m "
+            f"({len(rec.moved_ues)} UEs moved)"
+        )
+    print(f"  REM store: {ctrl.rem_store.hits} reuses, {ctrl.rem_store.misses} fresh maps")
+
+
+def run_baselines() -> None:
+    scenario = Scenario.create(TERRAIN, n_ues=N_UES, cell_size=2.0, seed=11)
+    cfg = SkyRANConfig(rem_cell_size_m=4.0)
+    uni = UniformController(
+        scenario.channel, scenario.enodeb, cfg, altitude=ALTITUDE_M, seed=3
+    )
+    print("\nUniform baseline (same world, same budget):")
+    records = run_epochs(
+        scenario,
+        uni,
+        N_EPOCHS,
+        budget_per_epoch_m=BUDGET_PER_EPOCH_M,
+        move_fraction=MOVE_FRACTION,
+        seed=7,
+    )
+    for rec in records:
+        print(
+            f"  epoch {rec.epoch}: rel throughput {rec.relative_throughput:.2f}, "
+            f"REM err {rec.rem_error_db:.1f} dB"
+        )
+
+    scenario2 = Scenario.create(TERRAIN, n_ues=N_UES, cell_size=2.0, seed=11)
+    cen = CentroidController(
+        scenario2.channel, scenario2.enodeb, cfg, altitude=ALTITUDE_M, seed=3
+    )
+    result = cen.run_epoch()
+    rel = scenario2.relative_throughput(result.position)
+    print(f"\nCentroid baseline: rel throughput {rel:.2f} (single epoch; no REMs to refine)")
+
+
+def main() -> None:
+    np.set_printoptions(precision=1)
+    run_skyran()
+    run_baselines()
+    print(
+        "\nThe paper's claim this reproduces: location-aware, measurement-"
+        "driven placement beats both location-only and measurement-only "
+        "strategies, and REM reuse keeps per-epoch overhead falling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Regenerate EXPERIMENTS.md from a full pass over every experiment.
+
+Runs each registered experiment (quick fidelity) and writes a
+paper-vs-measured markdown report.  Used to produce the committed
+EXPERIMENTS.md; re-run after model changes.
+
+Usage:  python scripts/generate_experiments_report.py [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from pathlib import Path
+
+from repro.experiments import REGISTRY
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every quantitative figure in the paper's evaluation, reproduced on the
+synthetic substrate (see DESIGN.md for the substitutions).  Numbers
+are from the `quick` fidelity the benchmark suite uses (coarse grids,
+few seeds); absolute values differ from the paper's testbed, the
+*shape* claims are what each bench asserts.
+
+Regenerate with `python scripts/generate_experiments_report.py`.
+
+## Known deltas vs. the paper
+
+* **Localization (Figs. 17-19)**: our median localization error is
+  ~10-13 m against the paper's 5-7 m.  The synthetic ToF chain hits
+  the paper's ranging accuracy (~1-5 m), but the joint offset-
+  estimation over a 20-30 m aperture amplifies residual NLOS bias
+  that the real system's RF diversity apparently averages better.
+  Still ~7x better than the 50-100 m macro-cell strawman, and inside
+  the <=15 m band where Fig. 9 predicts <=15% placement loss —
+  consistent with the end-to-end relative throughput we measure.
+* **Fig. 6 naive curve**: our naive sweep interpolates better than
+  the paper's at high coverage because the synthetic shadowing field
+  is smoother than campus reality; the low-coverage contrast (the
+  figure's point) reproduces.
+* **Headline budget**: we reach 0.9x optimal at ~450-600 m of
+  measurement flight (~55-72 s at 30 km/h) vs. the paper's "about
+  30 secs" claim; the Fig. 23 budget curves bracket both.
+
+## Results
+
+"""
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    sections = [HEADER]
+    for exp_id, run_fn in REGISTRY.items():
+        t0 = time.time()
+        print(f"[{exp_id}] running...", flush=True)
+        try:
+            result = run_fn(quick=True)
+        except Exception:
+            print(f"[{exp_id}] FAILED")
+            traceback.print_exc()
+            sections.append(f"### {exp_id}\n\n*FAILED — see CI logs.*\n")
+            continue
+        elapsed = time.time() - t0
+        rows = result.get("rows", [])
+        paper = result.get("paper", "")
+        lines = [f"### {exp_id}\n"]
+        if paper:
+            lines.append(f"**Paper:** {paper}\n")
+        if rows:
+            keys = list(rows[0].keys())
+            lines.append("| " + " | ".join(keys) + " |")
+            lines.append("|" + "---|" * len(keys))
+            for row in rows:
+                lines.append("| " + " | ".join(_fmt(row[k]) for k in keys) + " |")
+        lines.append(f"\n*({elapsed:.0f} s)*\n")
+        sections.append("\n".join(lines))
+        print(f"[{exp_id}] done in {elapsed:.0f} s")
+    out_path.write_text("\n".join(sections))
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

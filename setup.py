@@ -1,0 +1,10 @@
+"""Setup shim for legacy (non-PEP 517) editable installs.
+
+The offline environment lacks the ``wheel`` package, so
+``pip install -e . --no-use-pep517 --no-build-isolation`` goes through
+this file; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

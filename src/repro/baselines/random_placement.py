@@ -1,0 +1,34 @@
+"""Random placement — the no-information floor.
+
+"Random UAV positioning offers no guarantee on performance" (paper
+Section 2.2).  Useful as the lower anchor when reporting relative
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geo.grid import GridSpec
+from repro.geo.points import Point3D
+
+
+@dataclass
+class RandomPlacementController:
+    """Pick a uniformly random cell at a fixed altitude."""
+
+    grid: GridSpec
+    altitude: float = 60.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+
+    def run_epoch(self) -> Point3D:
+        """One placement decision."""
+        x = self.rng.uniform(self.grid.origin_x, self.grid.max_x)
+        y = self.rng.uniform(self.grid.origin_y, self.grid.max_y)
+        return Point3D(float(x), float(y), self.altitude)

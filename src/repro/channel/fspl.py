@@ -1,0 +1,66 @@
+"""Free-space path loss.
+
+FSPL is both (a) the LOS component of the ray-traced channel model and
+(b) the fallback model SkyRAN uses to initialise a REM for a UE
+position that has never been measured (paper Section 3.5), and the
+strawman "propagation model based" REM of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+#: Default LTE carrier frequency (band 7 downlink center), Hz.
+DEFAULT_FREQ_HZ = 2.6e9
+
+#: Distances below this are clamped to avoid the log singularity at 0.
+MIN_DISTANCE_M = 1.0
+
+
+def fspl_db(distance_m, freq_hz: float = DEFAULT_FREQ_HZ):
+    """Free-space path loss in dB for a distance in meters.
+
+    ``FSPL = 20 log10(4 pi d f / c)``.  Accepts scalars or arrays;
+    distances are clamped to :data:`MIN_DISTANCE_M`.
+    """
+    if freq_hz <= 0:
+        raise ValueError(f"freq_hz must be positive, got {freq_hz}")
+    d = np.maximum(np.asarray(distance_m, dtype=float), MIN_DISTANCE_M)
+    loss = 20.0 * np.log10(4.0 * np.pi * d * freq_hz / SPEED_OF_LIGHT)
+    if np.isscalar(distance_m):
+        return float(loss)
+    return loss
+
+
+def fspl_map(
+    grid,
+    ue_xyz,
+    altitude: float,
+    freq_hz: float = DEFAULT_FREQ_HZ,
+) -> np.ndarray:
+    """FSPL from every cell center (at ``altitude``) to a UE position.
+
+    Parameters
+    ----------
+    grid:
+        :class:`~repro.geo.grid.GridSpec` of the operating area.
+    ue_xyz:
+        UE position ``(x, y, z)`` in meters.
+    altitude:
+        UAV operating altitude (the z of every map cell).
+    freq_hz:
+        Carrier frequency.
+
+    Returns
+    -------
+    ``(ny, nx)`` array of path loss in dB.
+    """
+    ue = np.asarray(ue_xyz, dtype=float)
+    gx, gy = grid.centers()
+    dx = gx - ue[0]
+    dy = gy - ue[1]
+    dz = altitude - ue[2]
+    dist = np.sqrt(dx * dx + dy * dy + dz * dz)
+    return fspl_db(dist, freq_hz)

@@ -1,0 +1,47 @@
+"""Ground-truth REM construction.
+
+The paper scores every scheme against an oracle REM obtained from an
+exhaustive measurement flight (testbed, Fig. 15) or full ray tracing
+(scale-up study).  Here the oracle is the channel model's mean SNR on
+every grid cell — no fading, no measurement noise — which is what an
+infinitely long averaging flight would converge to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.channel.model import ChannelModel
+from repro.geo.grid import GridSpec
+
+
+def ground_truth_rem(
+    model: ChannelModel,
+    ue_xyz: np.ndarray,
+    altitude: float,
+    grid: Optional[GridSpec] = None,
+) -> np.ndarray:
+    """Oracle SNR map for one UE at the given operating altitude.
+
+    Returns a ``(ny, nx)`` array of mean SNR in dB.
+    """
+    return model.snr_map(ue_xyz, altitude, grid)
+
+
+def ground_truth_stack(
+    model: ChannelModel,
+    ue_positions: Sequence,
+    altitude: float,
+    grid: Optional[GridSpec] = None,
+) -> np.ndarray:
+    """Oracle SNR maps for all UEs, stacked ``(n_ue, ny, nx)``."""
+    maps = [
+        ground_truth_rem(model, np.asarray(ue, dtype=float), altitude, grid)
+        for ue in ue_positions
+    ]
+    if not maps:
+        g = grid or model.terrain.grid
+        return np.empty((0,) + g.shape)
+    return np.stack(maps)

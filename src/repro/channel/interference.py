@@ -1,0 +1,92 @@
+"""Inter-cell interference for multi-UAV deployments.
+
+A single SkyRAN UAV owns its carrier; a fleet sharing one LTE channel
+does not.  This module computes per-UE SINR given every UAV's
+position: the serving cell's signal over (noise + the sum of the other
+cells' received powers, scaled by their activity).  The fleet
+coordinator uses it to score sectorizations honestly — two UAVs
+parked next to each other *hurt* each other, which pure-SNR scoring
+cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.model import ChannelModel
+
+
+def sinr_db(
+    channel: ChannelModel,
+    uav_positions: Sequence[np.ndarray],
+    ue_xyz: np.ndarray,
+    serving_index: int,
+    activity: Optional[Sequence[float]] = None,
+) -> float:
+    """SINR of a UE served by one UAV amid the rest of the fleet.
+
+    Parameters
+    ----------
+    channel:
+        The shared radio environment (every UAV sees the same world).
+    uav_positions:
+        One ``(3,)`` position per UAV.
+    ue_xyz:
+        The UE being scored.
+    serving_index:
+        Index of the serving UAV within ``uav_positions``.
+    activity:
+        Per-UAV downlink activity factors in [0, 1] (fraction of PRBs
+        loaded).  Defaults to fully loaded interferers — the
+        conservative, busy-hour assumption.
+
+    Returns
+    -------
+    SINR in dB.
+    """
+    n = len(uav_positions)
+    if not 0 <= serving_index < n:
+        raise ValueError(f"serving_index {serving_index} out of range for {n} UAVs")
+    if activity is None:
+        act = np.ones(n)
+    else:
+        act = np.asarray(list(activity), dtype=float)
+        if act.shape != (n,):
+            raise ValueError(f"activity must have length {n}")
+        if np.any((act < 0) | (act > 1)):
+            raise ValueError("activity factors must be in [0, 1]")
+
+    link = channel.link
+    rx_dbm = np.array(
+        [
+            link.rx_power_dbm(float(channel.path_loss_db(np.asarray(p, dtype=float), ue_xyz)))
+            for p in uav_positions
+        ]
+    )
+    signal_mw = 10.0 ** (rx_dbm[serving_index] / 10.0)
+    noise_mw = 10.0 ** (link.noise_floor_dbm / 10.0)
+    interf_mw = 0.0
+    for j in range(n):
+        if j == serving_index:
+            continue
+        interf_mw += act[j] * 10.0 ** (rx_dbm[j] / 10.0)
+    return float(10.0 * np.log10(signal_mw / (noise_mw + interf_mw)))
+
+
+def fleet_sinr_db(
+    channel: ChannelModel,
+    uav_positions: Sequence[np.ndarray],
+    ue_positions: Dict[int, np.ndarray],
+    serving: Dict[int, int],
+    activity: Optional[Sequence[float]] = None,
+) -> Dict[int, float]:
+    """Per-UE SINR for a whole fleet assignment.
+
+    ``serving[ue_id]`` is the index of the UAV that serves the UE.
+    """
+    return {
+        ue_id: sinr_db(channel, uav_positions, ue_xyz, serving[ue_id], activity)
+        for ue_id, ue_xyz in ue_positions.items()
+    }

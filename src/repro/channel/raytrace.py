@@ -1,0 +1,143 @@
+"""Vectorized ray/terrain intersection.
+
+For each direct ray from a transmitter to a receiver we sample points
+along the ray and compare the ray height against the terrain surface.
+The total length of the obstructed portion drives the excess (beyond
+free-space) attenuation, mirroring the paper's LiDAR-driven model:
+"We use the LiDAR data to determine the portion of each ray that is
+obstructed by terrain features, and the portion that experiences only
+free space attenuation" (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.terrain.heightmap import Terrain
+
+#: Default arc-length between ray samples, in meters.  Half the 1 m
+#: grid pitch comfortably catches single-cell obstacles.
+DEFAULT_STEP_M = 1.0
+
+#: Endpoints are excluded from the obstruction test by this margin so a
+#: ray never counts the terrain cell the UE itself stands on.
+_ENDPOINT_MARGIN = 0.02
+
+
+def obstructed_lengths(
+    terrain: Terrain,
+    tx_xyz: np.ndarray,
+    rx_xyz: np.ndarray,
+    step: float = DEFAULT_STEP_M,
+) -> np.ndarray:
+    """Obstructed path length for each Tx->Rx ray, in meters.
+
+    The returned length is the *horizontally projected* run of the ray
+    below the terrain surface.  This captures the elevation-angle
+    dependence every air-to-ground measurement campaign reports
+    (Al-Hourani et al.): a steep ray from a UAV overhead clips only
+    the crowns/eaves around the UE and suffers little excess loss,
+    while a grazing ray ploughs through long stretches of clutter.
+    Using the 3D obstructed length instead would charge a vertical ray
+    through a tree canopy the full canopy height — making a UE under a
+    tree unservable even from straight above, which contradicts both
+    the physics and the paper's testbed (its forest UE was served).
+
+    Parameters
+    ----------
+    terrain:
+        The surface to test against.
+    tx_xyz:
+        ``(n, 3)`` array (or a single ``(3,)`` point broadcast to n) of
+        transmitter positions - typically candidate UAV cells.
+    rx_xyz:
+        ``(n, 3)`` array or single ``(3,)`` receiver position(s) -
+        typically the UE.
+    step:
+        Sampling interval along the ray.
+
+    Returns
+    -------
+    ``(n,)`` array: horizontally-projected meters of each ray that
+    pass below the terrain surface.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    tx = np.atleast_2d(np.asarray(tx_xyz, dtype=float))
+    rx = np.atleast_2d(np.asarray(rx_xyz, dtype=float))
+    if tx.shape[0] == 1 and rx.shape[0] > 1:
+        tx = np.broadcast_to(tx, rx.shape)
+    if rx.shape[0] == 1 and tx.shape[0] > 1:
+        rx = np.broadcast_to(rx, tx.shape)
+    if tx.shape != rx.shape:
+        raise ValueError(f"tx shape {tx.shape} incompatible with rx shape {rx.shape}")
+
+    n = tx.shape[0]
+    dist = np.linalg.norm(rx - tx, axis=1)
+    horiz = np.linalg.norm((rx - tx)[:, :2], axis=1)
+    max_dist = float(dist.max()) if n else 0.0
+    if max_dist == 0.0:
+        return np.zeros(n)
+    # One shared set of parametric sample fractions for all rays keeps
+    # the computation a single broadcastable expression.  The margin
+    # keeps both endpoints (antenna positions) out of the test.
+    n_steps = max(2, int(np.ceil(max_dist / step)))
+    t = np.linspace(_ENDPOINT_MARGIN, 1.0 - _ENDPOINT_MARGIN, n_steps)
+
+    # Chunk over rays so peak memory stays bounded (~8M floats/array)
+    # even for full 1 km x 1 km maps.
+    chunk = max(1, int(8_000_000 // n_steps))
+    out = np.empty(n, dtype=float)
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        txc, rxc = tx[lo:hi], rx[lo:hi]
+        xs = txc[:, None, 0] + t[None, :] * (rxc[:, 0] - txc[:, 0])[:, None]
+        ys = txc[:, None, 1] + t[None, :] * (rxc[:, 1] - txc[:, 1])[:, None]
+        zs = txc[:, None, 2] + t[None, :] * (rxc[:, 2] - txc[:, 2])[:, None]
+        surface = terrain.heights_at_xy(xs, ys)
+        blocked = zs < surface
+        out[lo:hi] = blocked.mean(axis=1)
+    # Near-vertical rays keep a floor of 15% of the slant length so a
+    # blocked overhead ray (directly through a crown or roof) still
+    # pays a realistic one-obstacle penetration loss instead of zero.
+    effective = np.maximum(horiz, 0.15 * dist)
+    return out * effective * (1.0 - 2 * _ENDPOINT_MARGIN)
+
+
+def trace_profile(
+    terrain: Terrain,
+    tx_xyz: np.ndarray,
+    rx_xyz: np.ndarray,
+    step: float = DEFAULT_STEP_M,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sampled ray profile for a single Tx->Rx pair (debug/plot helper).
+
+    Returns
+    -------
+    (arc, ray_z, surface_z):
+        ``arc`` - distance along the ray at each sample (m);
+        ``ray_z`` - ray height at each sample;
+        ``surface_z`` - terrain surface height under each sample.
+    """
+    tx = np.asarray(tx_xyz, dtype=float).reshape(3)
+    rx = np.asarray(rx_xyz, dtype=float).reshape(3)
+    dist = float(np.linalg.norm(rx - tx))
+    n_steps = max(2, int(np.ceil(dist / step)))
+    t = np.linspace(0.0, 1.0, n_steps)
+    xs = tx[0] + t * (rx[0] - tx[0])
+    ys = tx[1] + t * (rx[1] - tx[1])
+    zs = tx[2] + t * (rx[2] - tx[2])
+    surface = terrain.heights_at_xy(xs, ys)
+    return t * dist, zs, surface
+
+
+def is_los(
+    terrain: Terrain,
+    tx_xyz: np.ndarray,
+    rx_xyz: np.ndarray,
+    step: float = DEFAULT_STEP_M,
+) -> np.ndarray:
+    """Boolean line-of-sight test for each Tx->Rx ray."""
+    return obstructed_lengths(terrain, tx_xyz, rx_xyz, step) <= 0.0

@@ -1,0 +1,103 @@
+"""SkyRAN configuration.
+
+One dataclass holding every operational knob the paper exposes, with
+the paper's values as defaults (Sections 3-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SkyRANConfig:
+    """Operational parameters of a SkyRAN UAV.
+
+    Attributes
+    ----------
+    localization_flight_m:
+        Length of the random localization flight.  The paper uses
+        20 m; our synthetic noise structure saturates at ~30 m
+        (reproduction Fig. 19), so the default is 30 m.
+    localization_speed_mps:
+        Ground speed of the localization flight.  Flown much slower
+        than measurement cruise so the 50 Hz GPS / 100 Hz SRS streams
+        yield enough fused observations per meter for the
+        offset-augmented solve.
+    localization_altitude_m:
+        Altitude the localization flight is flown at.  Two opposing
+        effects: lower improves the ranging geometry (stronger
+        horizontal range gradient), but flying near obstruction tops
+        puts grazing NLOS multipath bias into the ranges — and bias
+        hurts the offset-augmented solve far more than geometry.
+        Flying well above the clutter wins.
+    max_altitude_m:
+        FAA ceiling the altitude search starts from (120 m).
+    min_altitude_m:
+        Floor for the altitude search.
+    altitude_step_m:
+        Descent step while tracking path loss.
+    measurement_budget_m:
+        Default per-epoch measurement trajectory budget.
+    rem_cell_size_m:
+        Cell size of estimated REMs (1 m in the paper; coarser speeds
+        up large scale-up simulations).
+    reuse_radius_m:
+        ``R`` of Section 3.5: a UE within R of a stored REM's key
+        position inherits that REM (10 m, from Fig. 9).
+    epoch_margin:
+        Aggregate-throughput drop fraction that triggers a new epoch
+        (0.1 in the paper's example).
+    k_min, k_max:
+        Cluster-count range for the trajectory planner.
+    gradient_quantile:
+        Gradient threshold quantile (0.5 = paper's median).
+    tof_upsampling:
+        SRS correlation upsampling ``K`` (4 in the paper).
+    idw_power:
+        IDW distance exponent (2 = paper's squared inverse distance).
+    idw_neighbors:
+        Measured cells contributing to each interpolated cell.
+    sample_spacing_m:
+        Probe-point spacing when sampling trajectories.
+    uncertainty_penalty_db_per_m / uncertainty_penalty_cap_db:
+        Robust-placement extension (not in the paper): before the
+        max-min argmax, each cell's estimated SNR is discounted by
+        ``penalty * distance to the nearest measured cell`` (capped).
+        Interpolated/FSPL-seeded values far from any measurement are
+        optimistic on average, and an argmax *selects for* optimistic
+        errors; the discount keeps placement honest.  Set the rate to
+        0 to recover the paper's plain max-min placement.
+    """
+
+    localization_flight_m: float = 30.0
+    localization_speed_mps: float = 3.0
+    localization_altitude_m: float = 100.0
+    max_altitude_m: float = 120.0
+    min_altitude_m: float = 20.0
+    altitude_step_m: float = 10.0
+    measurement_budget_m: float = 600.0
+    rem_cell_size_m: float = 1.0
+    reuse_radius_m: float = 10.0
+    epoch_margin: float = 0.1
+    k_min: int = 3
+    k_max: int = 10
+    gradient_quantile: float = 0.5
+    tof_upsampling: int = 4
+    idw_power: float = 2.0
+    idw_neighbors: int = 12
+    sample_spacing_m: float = 1.0
+    uncertainty_penalty_db_per_m: float = 0.1
+    uncertainty_penalty_cap_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.localization_flight_m <= 0:
+            raise ValueError("localization_flight_m must be positive")
+        if not 0 < self.min_altitude_m <= self.max_altitude_m:
+            raise ValueError("need 0 < min_altitude_m <= max_altitude_m")
+        if self.altitude_step_m <= 0:
+            raise ValueError("altitude_step_m must be positive")
+        if not 0.0 < self.epoch_margin < 1.0:
+            raise ValueError("epoch_margin must be in (0, 1)")
+        if self.reuse_radius_m < 0:
+            raise ValueError("reuse_radius_m must be >= 0")

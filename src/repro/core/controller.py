@@ -1,0 +1,385 @@
+"""The SkyRAN epoch controller (paper Fig. 10).
+
+:class:`SkyRANController` owns the UAV, the eNodeB/EPC, the REM store
+and the trajectory history, and executes epochs against a
+:class:`~repro.channel.model.ChannelModel` standing in for the real
+radio environment.  Everything the controller *knows* comes from
+simulated measurements (SRS symbols, PHY SNR reports, noisy GPS); the
+true UE positions are only used to report localization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.channel.fspl import fspl_map
+from repro.channel.model import ChannelModel
+from repro.core.config import SkyRANConfig
+from repro.core.epoch import EpochTrigger
+from repro.core.placement import (
+    PlacementResult,
+    find_optimal_altitude,
+    max_min_placement,
+)
+from repro.core.rem_store import REMStore
+from repro.flight.energy import EnergyBudget
+from repro.flight.sampler import collect_snr_samples, localize_all_ues
+from repro.flight.uav import UAV
+from repro.geo.grid import GridSpec
+from repro.lte.enodeb import ENodeB
+from repro.lte.throughput import throughput_mbps
+from repro.localization.calibration import OffsetCalibrator
+from repro.lte.tof import ToFEstimator
+from repro.lte.ue import UE
+from repro.trajectory.information import TrajectoryHistory
+from repro.trajectory.random_flight import random_flight
+from repro.trajectory.skyran import PlanResult, SkyRANPlanner
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Everything one epoch produced.
+
+    Attributes
+    ----------
+    epoch_index:
+        0-based epoch counter.
+    ue_estimates:
+        Estimated UE positions by UE id.
+    localization_errors_m:
+        True horizontal localization error per UE id.
+    altitude_m:
+        Operating altitude used this epoch.
+    plan:
+        Trajectory-planner diagnostics (None if no measurement flight
+        was flown).
+    placement:
+        Chosen operating position and predicted worst-UE SNR.
+    rem_maps:
+        Interpolated per-UE SNR maps after the measurement flight.
+    flight_distance_m / flight_time_s:
+        Total overhead (localization + altitude search + measurement
+        + reposition) of the epoch.
+    """
+
+    epoch_index: int
+    ue_estimates: Dict[int, np.ndarray]
+    localization_errors_m: Dict[int, float]
+    altitude_m: float
+    plan: Optional[PlanResult]
+    placement: PlacementResult
+    rem_maps: Dict[int, np.ndarray]
+    flight_distance_m: float
+    flight_time_s: float
+
+
+@dataclass
+class SkyRANController:
+    """Runs the SkyRAN algorithm against a simulated radio environment.
+
+    Parameters
+    ----------
+    channel:
+        The "real world": generates all measurements.
+    enodeb:
+        Airborne LTE stack; UEs must already be registered.
+    config:
+        Operational knobs (paper defaults).
+    rem_grid:
+        Grid for estimated REMs; defaults to the terrain grid
+        coarsened to ``config.rem_cell_size_m``.
+    uav:
+        Flight platform; defaults to one parked at the area center at
+        the FAA ceiling.
+    seed:
+        Seed for all controller-side randomness.
+    """
+
+    channel: ChannelModel
+    enodeb: ENodeB
+    config: SkyRANConfig = field(default_factory=SkyRANConfig)
+    rem_grid: Optional[GridSpec] = None
+    uav: Optional[UAV] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        terrain_grid = self.channel.terrain.grid
+        if self.rem_grid is None:
+            factor = max(1, int(round(self.config.rem_cell_size_m / terrain_grid.cell_size)))
+            self.rem_grid = terrain_grid.coarsen(factor)
+        if self.uav is None:
+            cx = terrain_grid.origin_x + terrain_grid.width / 2
+            cy = terrain_grid.origin_y + terrain_grid.height / 2
+            self.uav = UAV(position=np.array([cx, cy, self.config.max_altitude_m]))
+        self.rng = np.random.default_rng(self.seed)
+        self.estimator = ToFEstimator(self.enodeb.srs_config, self.config.tof_upsampling)
+        self.planner = SkyRANPlanner(
+            k_min=self.config.k_min,
+            k_max=self.config.k_max,
+            gradient_quantile=self.config.gradient_quantile,
+            seed=self.seed,
+        )
+        self.history = TrajectoryHistory(reuse_radius_m=self.config.reuse_radius_m)
+        self.rem_store = REMStore(self.rem_grid, self.config.reuse_radius_m)
+        self.trigger = EpochTrigger(self.config.epoch_margin)
+        self.altitude: Optional[float] = None
+        self.epoch_index = 0
+        self._last_estimates: Dict[int, np.ndarray] = {}
+        self.offset_calibrator = OffsetCalibrator()
+
+    # -- building blocks -----------------------------------------------------------
+
+    def _localization_flight(self) -> tuple:
+        """Fly the short random flight and localize every UE from it.
+
+        Flown at the (lower) localization altitude for better ranging
+        geometry; the descent is part of the epoch's overhead.
+        """
+        extra_distance = 0.0
+        loc_alt = self.config.localization_altitude_m
+        # Fly from above the last-known UE centroid: ranging geometry
+        # degrades sharply when all UEs sit far to one side, and after
+        # the first epoch the controller knows roughly where they are.
+        if self._last_estimates:
+            cx, cy = np.mean(
+                [p[:2] for p in self._last_estimates.values()], axis=0
+            )
+        else:
+            cx, cy = self.uav.position[0], self.uav.position[1]
+        target = np.array([cx, cy, loc_alt])
+        if np.linalg.norm(self.uav.position - target) > 1.0:
+            move = self.uav.goto(target, self.rng)
+            extra_distance += move.distance_m
+        traj = random_flight(
+            self.rem_grid,
+            self.uav.position[:2],
+            self.config.localization_flight_m,
+            altitude=float(self.uav.position[2]),
+            rng=self.rng,
+        )
+        cruise = self.uav.speed_mps
+        self.uav.speed_mps = self.config.localization_speed_mps
+        try:
+            log = self.uav.fly(traj, self.rng)
+        finally:
+            self.uav.speed_mps = cruise
+        ues = self.enodeb.connected_ues()
+        margin = 20.0  # UEs just outside the nominal box are still real
+        bounds = (
+            (self.rem_grid.origin_x - margin, self.rem_grid.max_x + margin),
+            (self.rem_grid.origin_y - margin, self.rem_grid.max_y + margin),
+        )
+        joint = localize_all_ues(
+            log,
+            ues,
+            self.channel,
+            self.enodeb,
+            self.estimator,
+            self.rng,
+            bounds_xy=bounds,
+            offset_prior=self.offset_calibrator.prior(),
+        )
+        # The offset is a chain constant: feed this epoch's estimate
+        # back into the running calibration for the next epoch.
+        self.offset_calibrator.update(joint.offset_m)
+        estimates: Dict[int, np.ndarray] = {}
+        errors: Dict[int, float] = {}
+        for ue in ues:
+            result = joint.per_ue[ue.ue_id]
+            estimates[ue.ue_id] = result.position
+            errors[ue.ue_id] = float(
+                np.hypot(
+                    result.position[0] - ue.position.x,
+                    result.position[1] - ue.position.y,
+                )
+            )
+        return estimates, errors, extra_distance + log.distance_m, log.duration_s
+
+    def _search_altitude(self, centroid_xy: np.ndarray) -> tuple:
+        """First-epoch altitude search above the estimated UE centroid.
+
+        The UAV hovers over the centroid and descends step by step,
+        *measuring* mean path loss to its attached UEs at each stop —
+        the measurement is of the real world (true UE positions), as
+        it would be on hardware.
+        """
+        ues = self.enodeb.connected_ues()
+        start_distance = self.uav.clock_s
+
+        top = np.array([centroid_xy[0], centroid_xy[1], self.config.max_altitude_m])
+        log = self.uav.goto(top, self.rng)
+        distance = log.distance_m
+
+        # Each probe averages ~1 s of 100 Hz PHY reports, so the
+        # residual probe noise is small.
+        probe_noise = 0.2
+
+        def path_loss_at(alt: float) -> float:
+            pos = np.array([centroid_xy[0], centroid_xy[1], alt])
+            losses = [
+                float(self.channel.path_loss_db(pos, ue.xyz)) for ue in ues
+            ]
+            return float(np.mean(losses) + self.rng.normal(0.0, probe_noise))
+
+        altitude = find_optimal_altitude(
+            path_loss_at,
+            self.config.max_altitude_m,
+            self.config.min_altitude_m,
+            self.config.altitude_step_m,
+        )
+        # Descent distance: from the ceiling to one step past the optimum.
+        descent = self.config.max_altitude_m - altitude + self.config.altitude_step_m
+        log2 = self.uav.goto(
+            np.array([centroid_xy[0], centroid_xy[1], altitude]), self.rng
+        )
+        distance += descent + log2.distance_m
+        duration = self.uav.clock_s - start_distance
+        return altitude, distance, duration
+
+    def _uncertainty_discounted(self, snr_map: np.ndarray, rem) -> np.ndarray:
+        """Discount a map by distance-to-nearest-measurement.
+
+        An argmax over estimated maps selects for optimistic
+        estimation errors; unmeasured cells carry the largest ones.
+        The discount (rate/cap in the config) makes placement prefer
+        cells whose SNR has actually been observed.
+        """
+        rate = self.config.uncertainty_penalty_db_per_m
+        if rate <= 0:
+            return snr_map
+        mask = rem.measured_mask.ravel()
+        if not mask.any():
+            return snr_map
+        from scipy.spatial import cKDTree
+
+        centers = self.rem_grid.centers_flat()
+        tree = cKDTree(centers[mask])
+        d, _ = tree.query(centers)
+        penalty = np.minimum(rate * d, self.config.uncertainty_penalty_cap_db)
+        return snr_map - penalty.reshape(self.rem_grid.shape)
+
+    def _prior_for(self, ue_xyz: np.ndarray) -> np.ndarray:
+        """FSPL-seed SNR map for a never-measured UE position."""
+        pl = fspl_map(self.rem_grid, ue_xyz, self.altitude, self.channel.freq_hz)
+        return self.channel.link.snr_db(pl)
+
+    # -- the epoch --------------------------------------------------------------------
+
+    def run_epoch(
+        self,
+        budget_m: Optional[float] = None,
+        energy_budget: Optional["EnergyBudget"] = None,
+    ) -> EpochResult:
+        """Execute one full SkyRAN epoch (Fig. 10, steps 1-8).
+
+        ``energy_budget`` (a :class:`~repro.flight.energy.EnergyBudget`)
+        caps the measurement budget by what the battery can fund while
+        still reserving service time — the Section 2.5 trade made
+        operational.
+        """
+        if not self.enodeb.connected_ues():
+            raise RuntimeError("no connected UEs to serve")
+        budget = budget_m if budget_m is not None else self.config.measurement_budget_m
+        if energy_budget is not None:
+            budget = max(energy_budget.clamp(budget, self.uav.battery), 1.0)
+        total_distance = 0.0
+        t_start = self.uav.clock_s
+
+        # Steps 1-4: localization flight and multilateration.
+        estimates, errors, dist, _ = self._localization_flight()
+        total_distance += dist
+        if not estimates:
+            raise RuntimeError("no connected UEs to serve")
+        self._last_estimates = dict(estimates)
+        est_positions = [estimates[k] for k in sorted(estimates)]
+
+        # Step 5: optimal altitude (first epoch only, Section 3.3.1).
+        if self.altitude is None:
+            centroid = np.mean([p[:2] for p in est_positions], axis=0)
+            self.altitude, dist, _ = self._search_altitude(centroid)
+            total_distance += dist
+
+        # REM lookup / seeding (Section 3.5).
+        rems = {
+            ue_id: self.rem_store.get_or_create(
+                estimates[ue_id], self.altitude, self._prior_for
+            )
+            for ue_id in sorted(estimates)
+        }
+
+        # Step 6: plan the measurement trajectory.
+        current_maps = [
+            rems[k].interpolated(self.config.idw_power, self.config.idw_neighbors)
+            for k in sorted(rems)
+        ]
+        plan = self.planner.plan(
+            self.rem_grid,
+            current_maps,
+            est_positions,
+            self.uav.position[:2],
+            self.altitude,
+            budget,
+            self.history,
+        )
+
+        # Step 7: fly it, measure, update each UE's REM.
+        log = self.uav.fly(plan.trajectory, self.rng)
+        total_distance += log.distance_m
+        for ue in self.enodeb.connected_ues():
+            xy, snr = collect_snr_samples(log, ue, self.channel, self.rng)
+            rems[ue.ue_id].add_measurements(xy, snr)
+        for ue_id in sorted(rems):
+            self.history.record(estimates[ue_id], plan.trajectory)
+            self.rem_store.commit(rems[ue_id])
+
+        # Step 8: max-min placement and reposition.
+        final_maps = {
+            ue_id: rems[ue_id].interpolated(
+                self.config.idw_power, self.config.idw_neighbors
+            )
+            for ue_id in sorted(rems)
+        }
+        placement_maps = [
+            self._uncertainty_discounted(final_maps[ue_id], rems[ue_id])
+            for ue_id in sorted(rems)
+        ]
+        placement = max_min_placement(self.rem_grid, placement_maps, self.altitude)
+        move_log = self.uav.goto(placement.position.as_array(), self.rng)
+        total_distance += move_log.distance_m
+
+        # Arm the epoch trigger with the achieved aggregate throughput.
+        self.trigger.reset(self.aggregate_throughput_mbps())
+
+        result = EpochResult(
+            epoch_index=self.epoch_index,
+            ue_estimates=estimates,
+            localization_errors_m=errors,
+            altitude_m=self.altitude,
+            plan=plan,
+            placement=placement,
+            rem_maps=final_maps,
+            flight_distance_m=total_distance,
+            flight_time_s=self.uav.clock_s - t_start,
+        )
+        self.epoch_index += 1
+        return result
+
+    # -- serving-time monitoring ---------------------------------------------------------
+
+    def aggregate_throughput_mbps(self) -> float:
+        """Mean full-cell throughput over UEs at the current position.
+
+        This is the live KPI the epoch trigger watches while serving.
+        """
+        ues = self.enodeb.connected_ues()
+        if not ues:
+            return 0.0
+        snrs = [float(self.channel.snr_db(self.uav.position, ue.xyz)) for ue in ues]
+        return float(np.mean([throughput_mbps(s) for s in snrs]))
+
+    def needs_new_epoch(self, t_s: float = 0.0) -> bool:
+        """Check the trigger against the current aggregate throughput."""
+        return self.trigger.update(self.aggregate_throughput_mbps(), t_s)

@@ -1,0 +1,58 @@
+"""Dynamic epoch triggering (paper Section 3.5).
+
+SkyRAN does not chase individual UE movements.  A new epoch — with its
+localization + measurement overhead — is triggered only when the
+*aggregate* performance at the current UAV position drops below a
+configured fraction of what it was when the position was chosen.
+Fig. 12 shows a 10% margin buys ~10-minute epochs under pedestrian
+mobility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class EpochTrigger:
+    """Monitors aggregate performance and decides when to re-plan.
+
+    Attributes
+    ----------
+    margin:
+        Tolerated fractional drop (0.1 = re-plan on a 10% drop).
+    reference:
+        Aggregate performance recorded right after placement.
+    history:
+        (time, value) samples seen since the last reset, for benches
+        that plot the decay.
+    """
+
+    margin: float = 0.1
+    reference: Optional[float] = None
+    history: List[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.margin < 1.0:
+            raise ValueError(f"margin must be in (0, 1), got {self.margin}")
+
+    def reset(self, reference: float) -> None:
+        """Start a new epoch with a fresh performance reference."""
+        if reference < 0:
+            raise ValueError(f"reference must be >= 0, got {reference}")
+        self.reference = reference
+        self.history = []
+
+    def update(self, value: float, t_s: float = 0.0) -> bool:
+        """Record a performance sample; True means trigger a new epoch.
+
+        With no reference yet (cold start), any sample triggers.
+        """
+        self.history.append((t_s, value))
+        if self.reference is None:
+            return True
+        if self.reference <= 0:
+            # A dead reference epoch can only improve: re-plan.
+            return True
+        return value < (1.0 - self.margin) * self.reference

@@ -1,0 +1,93 @@
+"""Temporal REM aggregation and reuse (paper Section 3.5).
+
+REMs are keyed by UE *position*.  When a UE (re)appears within the
+reuse radius ``R`` of a stored key, it inherits that REM — including
+all its measurements — instead of starting from scratch; only truly
+novel positions get a fresh FSPL-seeded map.  This is what makes
+SkyRAN's probing overhead shrink across epochs under mobility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.grid import GridSpec
+from repro.rem.map import REM
+
+
+def _key_of(xyz: np.ndarray) -> Tuple[float, float]:
+    p = np.asarray(xyz, dtype=float)
+    return (round(float(p[0]), 1), round(float(p[1]), 1))
+
+
+@dataclass
+class REMStore:
+    """Position-keyed REM storage with radius-R reuse.
+
+    Attributes
+    ----------
+    grid:
+        Grid all stored REMs share.
+    reuse_radius_m:
+        ``R``: maximum key distance for reuse (10 m default).
+    """
+
+    grid: GridSpec
+    reuse_radius_m: float = 10.0
+    _store: Dict[Tuple[float, float], REM] = field(default_factory=dict)
+    #: Reuse/seed counters for overhead accounting in benches.
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, ue_xyz: np.ndarray) -> Optional[REM]:
+        """Closest stored REM within the reuse radius, or None."""
+        p = np.asarray(ue_xyz, dtype=float)
+        best, best_d = None, self.reuse_radius_m
+        for rem in self._store.values():
+            d = rem.distance_to_position(p)
+            if d <= best_d:
+                best, best_d = rem, d
+        return best
+
+    def get_or_create(
+        self,
+        ue_xyz: np.ndarray,
+        altitude: float,
+        prior_fn: Callable[[np.ndarray], np.ndarray],
+    ) -> REM:
+        """REM for a UE position: reuse within R, else FSPL-seed.
+
+        ``prior_fn(ue_xyz)`` builds the model-based seed map for a
+        novel position (Section 3.5: "SkyRAN initializes a new REM
+        using a free-space path-loss model").
+        """
+        found = self.lookup(ue_xyz)
+        if found is not None:
+            self.hits += 1
+            if not np.allclose(found.ue_xyz, ue_xyz):
+                rem = found.rekeyed(ue_xyz)
+                self._store[_key_of(ue_xyz)] = rem
+                return rem
+            return found
+        self.misses += 1
+        rem = REM(
+            self.grid,
+            np.asarray(ue_xyz, dtype=float),
+            altitude,
+            prior=prior_fn(np.asarray(ue_xyz, dtype=float)),
+        )
+        self._store[_key_of(ue_xyz)] = rem
+        return rem
+
+    def commit(self, rem: REM) -> None:
+        """(Re)store a REM under its key position."""
+        self._store[_key_of(rem.ue_xyz)] = rem
+
+    def all_rems(self) -> List[REM]:
+        return list(self._store.values())
+
+    def __len__(self) -> int:
+        return len(self._store)

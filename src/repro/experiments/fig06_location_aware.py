@@ -1,0 +1,127 @@
+"""Fig. 6 — location-aware probing wins per unit of area probed.
+
+Build REMs with two strategies at growing budgets and plot median REM
+error against the fraction of the area actually measured.  The
+location-aware trajectory is SkyRAN's gradient/cluster planner seeded
+with the UE locations; the naive one is the corner-start zigzag.
+Paper: at ~15% of the area probed, location-aware ~5 dB vs naive
+~16 dB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.channel.fspl import fspl_map
+from repro.experiments.common import config_for, print_rows, scenario_for
+from repro.flight.sampler import collect_snr_samples
+from repro.flight.uav import UAV
+from repro.rem.accuracy import median_abs_error_db
+from repro.rem.map import REM
+from repro.trajectory.information import TrajectoryHistory
+from repro.trajectory.skyran import SkyRANPlanner
+from repro.trajectory.uniform import zigzag_trajectory
+
+ALTITUDE_M = 60.0
+
+
+def _measure(scenario, rem_grid, rems, traj, rng):
+    """Fly a trajectory and fold its samples into the given REMs."""
+    uav = UAV(position=np.array([traj.waypoints[0][0], traj.waypoints[0][1], ALTITUDE_M]))
+    log = uav.fly(traj, rng)
+    for ue, rem in zip(scenario.ues, rems):
+        xy, snr = collect_snr_samples(log, ue, scenario.channel, rng)
+        rem.add_measurements(xy, snr)
+
+
+def _error_and_fraction(rems, truth):
+    errs = [
+        median_abs_error_db(rem.interpolated(), truth[i]) for i, rem in enumerate(rems)
+    ]
+    fraction = float(np.mean([rem.n_measured_cells / rem.grid.num_cells for rem in rems]))
+    return float(np.median(errs)), fraction
+
+
+def run(quick: bool = True, seed: int = 0, budgets=None) -> Dict:
+    """Error-vs-fraction curves for both probing strategies."""
+    scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
+    cfg = config_for(quick)
+    factor = max(1, int(round(cfg.rem_cell_size_m / scenario.grid.cell_size)))
+    rem_grid = scenario.grid.coarsen(factor)
+    truth = scenario.truth_maps(ALTITUDE_M, rem_grid)
+    rng = np.random.default_rng(seed)
+    if budgets is None:
+        budgets = [300.0, 600.0, 1200.0, 2400.0, 4800.0]
+
+    def prior(ue_xyz):
+        pl = fspl_map(rem_grid, ue_xyz, ALTITUDE_M, scenario.channel.freq_hz)
+        return scenario.channel.link.snr_db(pl)
+
+    rows: List[Dict] = []
+    # Location-aware probing: incremental SkyRAN plans, REM state kept.
+    aware_rems = [
+        REM(rem_grid, ue.xyz, ALTITUDE_M, prior=prior(ue.xyz)) for ue in scenario.ues
+    ]
+    planner = SkyRANPlanner(seed=seed)
+    history = TrajectoryHistory()
+    ue_positions = [ue.xyz for ue in scenario.ues]
+    start = np.array([rem_grid.origin_x + rem_grid.width / 2, rem_grid.origin_y + rem_grid.height / 2])
+    spent = 0.0
+    aware_curve = []
+    for budget in budgets:
+        increment = budget - spent
+        plan = planner.plan(
+            rem_grid,
+            [r.interpolated() for r in aware_rems],
+            ue_positions,
+            start,
+            ALTITUDE_M,
+            increment,
+            history,
+        )
+        _measure(scenario, rem_grid, aware_rems, plan.trajectory, rng)
+        for p in ue_positions:
+            history.record(p, plan.trajectory)
+        start = plan.trajectory.end()
+        spent = budget
+        err, frac = _error_and_fraction(aware_rems, truth)
+        aware_curve.append((frac, err))
+
+    # Naive probing: a dense corner-start sweep truncated at each
+    # budget, fresh REMs each time (the same flight prefix grows, so
+    # keeping state would double-count).
+    naive_curve = []
+    for budget in budgets:
+        naive_rems = [REM(rem_grid, ue.xyz, ALTITUDE_M) for ue in scenario.ues]
+        traj = zigzag_trajectory(rem_grid, 15.0, ALTITUDE_M).truncated(budget)
+        _measure(scenario, rem_grid, naive_rems, traj, rng)
+        err, frac = _error_and_fraction(naive_rems, truth)
+        naive_curve.append((frac, err))
+
+    for budget, (af, ae), (nf, ne) in zip(budgets, aware_curve, naive_curve):
+        rows.append(
+            {
+                "budget_m": budget,
+                "aware_frac_pct": 100 * af,
+                "aware_err_db": ae,
+                "naive_frac_pct": 100 * nf,
+                "naive_err_db": ne,
+            }
+        )
+    return {
+        "rows": rows,
+        "aware_curve": aware_curve,
+        "naive_curve": naive_curve,
+        "paper": "at ~15% of area probed: location-aware ~5 dB vs naive ~16 dB",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 6 — location-aware vs naive probing", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

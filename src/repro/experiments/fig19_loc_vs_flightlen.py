@@ -1,0 +1,50 @@
+"""Fig. 19 — localization error vs flight length.
+
+Median localization error as the localization-flight budget grows.
+Paper: improves up to ~20 m of flight and is flat beyond — longer
+flights buy nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import print_rows
+from repro.experiments.loc_common import campus_scenario, localization_trial
+
+
+def run(
+    quick: bool = True,
+    lengths=(5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+    seeds=(0, 1, 2, 3),
+) -> Dict:
+    """Median localization error per flight length."""
+    scenario = campus_scenario(seed=0, quick=quick)
+    rows = []
+    for length in lengths:
+        errs = []
+        for seed in seeds:
+            _, pos_errs = localization_trial(scenario, length, seed)
+            errs.extend(pos_errs.values())
+        rows.append(
+            {
+                "flight_m": float(length),
+                "median_err_m": float(np.median(errs)),
+                "p90_err_m": float(np.percentile(errs, 90)),
+            }
+        )
+    return {
+        "rows": rows,
+        "paper": "error drops until ~20 m of flight, flat beyond",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 19 — localization error vs flight length", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

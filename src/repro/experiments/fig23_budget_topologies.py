@@ -1,0 +1,55 @@
+"""Fig. 23 — relative throughput vs measurement budget, two topologies.
+
+SkyRAN vs Uniform at budgets 200-1000 m for (a) a uniform UE topology
+and (b) a clustered one.  Paper: SkyRAN ~2x Uniform at small budgets;
+in the clustered topology SkyRAN hits ~95% while Uniform struggles to
+70% even at 1000 m, and SkyRAN needs less than half the budget (400 m)
+to match Uniform at 1000 m.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import print_rows
+from repro.experiments.placement_common import mean_over_seeds
+
+
+def run(
+    quick: bool = True,
+    budgets=(200.0, 400.0, 600.0, 800.0, 1000.0),
+    seeds=(0, 1, 2),
+) -> Dict:
+    """Relative-throughput curves per topology and scheme."""
+    rows = []
+    curves: Dict[str, list] = {}
+    for topo_name, layout in (("A-uniform", "uniform"), ("B-clustered", "clustered")):
+        for budget in budgets:
+            sky = mean_over_seeds("campus", 7, layout, "skyran", budget, seeds, quick)
+            uni = mean_over_seeds("campus", 7, layout, "uniform", budget, seeds, quick)
+            rows.append(
+                {
+                    "topology": topo_name,
+                    "budget_m": budget,
+                    "skyran_rel": sky["relative_throughput"],
+                    "uniform_rel": uni["relative_throughput"],
+                }
+            )
+            curves.setdefault(topo_name, []).append(
+                (budget, sky["relative_throughput"], uni["relative_throughput"])
+            )
+    return {
+        "rows": rows,
+        "curves": curves,
+        "paper": "SkyRAN ~2x Uniform at small budgets; clustered topology widens the gap "
+        "(SkyRAN ~0.95 vs Uniform ~0.7 at 1000 m)",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 23 — relative throughput vs budget, topologies A/B", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Fig. 26 — flight time to reach 0.9x optimal, STATIC vs DYNAMIC.
+
+Six UEs in the NYC terrain.  STATIC: UEs never move; epochs accumulate
+measurement until relative throughput first reaches 0.9.  DYNAMIC:
+half the UEs relocate before every epoch.  Paper: SkyRAN needs ~100 s
+when static and ~6 min of combined flight when dynamic — about half of
+Uniform in both cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import UAV_SPEED_MPS, print_rows
+from repro.experiments.placement_common import fresh_scenario
+from repro.experiments.common import skyran_for, uniform_for
+from repro.sim.runner import overhead_to_target, run_epochs
+
+ALTITUDE_M = 60.0
+EPOCH_BUDGET_M = 300.0
+MAX_EPOCHS = 8
+TARGET = 0.9
+
+
+def _time_to_target(terrain, scheme, move_fraction, seed, quick) -> float:
+    scenario = fresh_scenario(terrain, 6, "uniform", seed, quick)
+    if scheme == "skyran":
+        ctrl = skyran_for(scenario, seed=seed, quick=quick)
+        ctrl.altitude = ALTITUDE_M
+    else:
+        ctrl = uniform_for(scenario, altitude=ALTITUDE_M, seed=seed, quick=quick)
+    records = run_epochs(
+        scenario,
+        ctrl,
+        MAX_EPOCHS,
+        budget_per_epoch_m=EPOCH_BUDGET_M,
+        move_fraction=move_fraction,
+        seed=seed,
+    )
+    # Overhead on the paper's axis: measurement-flight time at cruise
+    # speed (distance / 30 km/h), so SkyRAN's deliberately slow
+    # localization hops don't distort the wall clock.
+    d = overhead_to_target(records, target_relative=TARGET, value="distance")
+    # Never reaching the target scores as the full run's overhead (a
+    # lower bound on the true overhead — flagged by the benches).
+    if d is None:
+        d = records[-1].cumulative_distance_m
+    return d / UAV_SPEED_MPS
+
+
+def run(quick: bool = True, seeds=(0, 1, 2)) -> Dict:
+    """Mean flight time to 0.9x optimal per scheme and dynamics mode."""
+    rows = []
+    for mode, frac in (("STATIC", 0.0), ("DYNAMIC", 0.5)):
+        sky = [_time_to_target("nyc", "skyran", frac, s, quick) for s in seeds]
+        uni = [_time_to_target("nyc", "uniform", frac, s, quick) for s in seeds]
+        rows.append(
+            {
+                "mode": mode,
+                "skyran_time_s": float(np.mean(sky)),
+                "uniform_time_s": float(np.mean(uni)),
+                "uniform_over_skyran": float(np.mean(uni) / max(np.mean(sky), 1e-9)),
+            }
+        )
+    return {
+        "rows": rows,
+        "paper": "SkyRAN ~100 s static / ~6 min dynamic, about half of Uniform",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 26 — overhead to reach 0.9x optimal (NYC)", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Fig. 27 — flight time to reach 0.9x optimal across terrains.
+
+Same procedure as Fig. 26 (static UEs) over RURAL, NYC and LARGE.
+Paper: overhead grows with terrain size/complexity, and SkyRAN stays
+well under Uniform everywhere except the trivially flat RURAL case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import UAV_SPEED_MPS, print_rows, skyran_for, uniform_for
+from repro.experiments.placement_common import fresh_scenario
+from repro.sim.runner import overhead_to_target, run_epochs
+
+ALTITUDE_M = 60.0
+MAX_EPOCHS = 8
+TARGET = 0.9
+
+#: Larger terrains get proportionally larger per-epoch budgets.
+EPOCH_BUDGETS = {"rural": 250.0, "nyc": 300.0, "large": 1200.0}
+
+
+def _time_to_target(terrain, scheme, seed, quick) -> float:
+    scenario = fresh_scenario(terrain, 6, "uniform", seed, quick)
+    if scheme == "skyran":
+        ctrl = skyran_for(scenario, seed=seed, quick=quick)
+        ctrl.altitude = ALTITUDE_M
+    else:
+        ctrl = uniform_for(scenario, altitude=ALTITUDE_M, seed=seed, quick=quick)
+    records = run_epochs(
+        scenario,
+        ctrl,
+        MAX_EPOCHS,
+        budget_per_epoch_m=EPOCH_BUDGETS[terrain],
+        move_fraction=0.0,
+        seed=seed,
+    )
+    # Measurement-flight time at cruise speed (see fig26 notes).
+    d = overhead_to_target(records, target_relative=TARGET, value="distance")
+    if d is None:
+        d = records[-1].cumulative_distance_m
+    return d / UAV_SPEED_MPS
+
+
+def run(quick: bool = True, seeds=(0, 1)) -> Dict:
+    """Mean flight time to 0.9x optimal per terrain and scheme."""
+    rows = []
+    for terrain in ("rural", "nyc", "large"):
+        sky = [_time_to_target(terrain, "skyran", s, quick) for s in seeds]
+        uni = [_time_to_target(terrain, "uniform", s, quick) for s in seeds]
+        rows.append(
+            {
+                "terrain": terrain,
+                "skyran_time_min": float(np.mean(sky)) / 60.0,
+                "uniform_time_min": float(np.mean(uni)) / 60.0,
+            }
+        )
+    return {
+        "rows": rows,
+        "paper": "overhead grows with terrain scale; SkyRAN below Uniform in NYC/LARGE",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 27 — overhead to 0.9x optimal per terrain", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

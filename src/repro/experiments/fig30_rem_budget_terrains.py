@@ -1,0 +1,39 @@
+"""Fig. 30 — median REM accuracy at the 5000 m budget, by terrain.
+
+A focused view of the REM columns of the Fig. 29 run (same procedure:
+half the UEs move per epoch, 5000 m total across epochs).  Paper:
+SkyRAN's maps are several dB better than Uniform's on NYC and LARGE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import print_rows
+from repro.experiments.fig29_budget_terrains import run as run_fig29
+
+
+def run(quick: bool = True, seeds=(0, 1)) -> Dict:
+    """REM-error rows extracted from the shared 5000 m-budget run."""
+    base = run_fig29(quick=quick, seeds=seeds)
+    rows = [
+        {
+            "terrain": r["terrain"],
+            "skyran_rem_db": r["skyran_rem_db"],
+            "uniform_rem_db": r["uniform_rem_db"],
+        }
+        for r in base["rows"]
+    ]
+    return {
+        "rows": rows,
+        "paper": "SkyRAN REMs several dB more accurate than Uniform on NYC/LARGE",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 30 — median REM accuracy at 5000 m budget", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Fig. 31 — relative throughput vs number of UEs.
+
+NYC, half the UEs relocating per epoch, a 5000 m total budget; sweep
+the UE count from 2 to 10.  Paper: SkyRAN improves roughly linearly up
+to ~8 UEs (more UEs = more parallel information per flight) and stays
+above Uniform throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import print_rows, skyran_for, uniform_for
+from repro.experiments.placement_common import fresh_scenario
+from repro.sim.runner import run_epochs
+
+ALTITUDE_M = 60.0
+TOTAL_BUDGET_M = 5000.0
+N_EPOCHS = 5
+
+
+def _run_one(n_ues: int, scheme: str, seed: int, quick: bool) -> float:
+    scenario = fresh_scenario("nyc", n_ues, "uniform", seed, quick)
+    if scheme == "skyran":
+        ctrl = skyran_for(scenario, seed=seed, quick=quick)
+        ctrl.altitude = ALTITUDE_M
+    else:
+        ctrl = uniform_for(scenario, altitude=ALTITUDE_M, seed=seed, quick=quick)
+    records = run_epochs(
+        scenario,
+        ctrl,
+        N_EPOCHS,
+        budget_per_epoch_m=TOTAL_BUDGET_M / N_EPOCHS,
+        move_fraction=0.5,
+        seed=seed,
+    )
+    tail = records[1:] if len(records) > 1 else records
+    return float(np.mean([r.relative_throughput for r in tail]))
+
+
+def run(quick: bool = True, ue_counts=(2, 4, 6, 8, 10), seeds=(0, 1)) -> Dict:
+    """Relative throughput per UE count for both schemes."""
+    rows = []
+    for n in ue_counts:
+        sky = float(np.mean([_run_one(n, "skyran", s, quick) for s in seeds]))
+        uni = float(np.mean([_run_one(n, "uniform", s, quick) for s in seeds]))
+        rows.append({"n_ues": n, "skyran_rel": sky, "uniform_rel": uni})
+    return {
+        "rows": rows,
+        "paper": "SkyRAN improves with UE count up to ~8 and stays above Uniform",
+    }
+
+
+def main() -> None:
+    result = run()
+    print_rows("Fig. 31 — relative throughput vs #UEs (NYC)", result["rows"], result["paper"])
+
+
+if __name__ == "__main__":
+    main()

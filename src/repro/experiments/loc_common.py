@@ -1,0 +1,95 @@
+"""Shared machinery for the localization accuracy figures (17-19)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.common import scenario_for
+from repro.flight.sampler import collect_gps_ranges, localize_all_ues
+from repro.flight.uav import UAV
+from repro.localization.ranging import mad_filter
+from repro.lte.tof import ToFEstimator
+from repro.trajectory.random_flight import random_flight
+
+#: Flight altitude of the localization experiments.  High enough to
+#: clear every obstruction on the campus: NLOS multipath bias hurts the
+#: offset-augmented solve far more than the slightly weaker horizontal
+#: range-gradient of a higher vantage.
+LOC_ALTITUDE_M = 100.0
+
+
+def localization_trial(
+    scenario,
+    flight_m: float,
+    seed: int,
+    upsampling: int = 4,
+) -> Tuple[Dict[int, List[float]], Dict[int, float]]:
+    """One localization flight: per-UE ranging errors + position errors.
+
+    Returns
+    -------
+    (ranging_errors, position_errors):
+        ``ranging_errors[ue_id]`` — |estimated - true| range per fused
+        GPS-range tuple (after removing the median offset, which the
+        solver estimates);
+        ``position_errors[ue_id]`` — final horizontal error.
+    """
+    rng = np.random.default_rng(seed)
+    grid = scenario.grid
+    start = np.array(
+        [grid.origin_x + grid.width / 2, grid.origin_y + grid.height / 2]
+    )
+    uav = UAV(
+        position=np.array([start[0], start[1], LOC_ALTITUDE_M]),
+        speed_mps=3.0,  # localization flights are flown slowly
+    )
+    traj = random_flight(grid, start, flight_m, LOC_ALTITUDE_M, rng)
+    log = uav.fly(traj, rng)
+    estimator = ToFEstimator(scenario.enodeb.srs_config, upsampling)
+
+    ranging_errors: Dict[int, List[float]] = {}
+    for ue in scenario.ues:
+        obs = collect_gps_ranges(
+            log, ue, scenario.channel, scenario.enodeb, estimator, rng
+        )
+        obs = mad_filter(obs)
+        true_d = np.array(
+            [np.linalg.norm(o.gps_xyz - ue.xyz) for o in obs]
+        )
+        meas = np.array([o.range_m for o in obs])
+        # The constant receive-chain offset is not a ranging *error*;
+        # remove its best single estimate as the solver would.
+        offset = float(np.median(meas - true_d))
+        ranging_errors[ue.ue_id] = list(np.abs(meas - true_d - offset))
+
+    margin = 20.0
+    bounds = (
+        (grid.origin_x - margin, grid.max_x + margin),
+        (grid.origin_y - margin, grid.max_y + margin),
+    )
+    joint = localize_all_ues(
+        log,
+        scenario.ues,
+        scenario.channel,
+        scenario.enodeb,
+        estimator,
+        rng,
+        bounds_xy=bounds,
+    )
+    position_errors = {
+        ue.ue_id: float(
+            np.hypot(
+                joint.per_ue[ue.ue_id].position[0] - ue.position.x,
+                joint.per_ue[ue.ue_id].position[1] - ue.position.y,
+            )
+        )
+        for ue in scenario.ues
+    }
+    return ranging_errors, position_errors
+
+
+def campus_scenario(seed: int = 0, quick: bool = True):
+    """The 7-UE campus deployment used by the testbed figures."""
+    return scenario_for("campus", n_ues=7, seed=seed, quick=quick)

@@ -1,0 +1,110 @@
+"""Shared machinery for the placement/budget figures (20-24, 26-31)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.common import (
+    centroid_for,
+    scenario_for,
+    skyran_for,
+    uniform_for,
+)
+from repro.sim.metrics import median_rem_error
+
+#: Fixed operating altitude for the testbed-style comparisons, so all
+#: schemes are scored on the same horizontal placement problem (the
+#: paper "presents results for UAV positioning at a given altitude").
+TESTBED_ALTITUDE_M = 60.0
+
+
+def run_scheme(
+    scenario,
+    scheme: str,
+    budget_m: float,
+    seed: int = 0,
+    quick: bool = True,
+    altitude: Optional[float] = TESTBED_ALTITUDE_M,
+) -> Dict:
+    """One epoch of a scheme at a budget; relative throughput + REM error.
+
+    ``altitude=None`` lets SkyRAN run its own altitude search; a float
+    pins every scheme to that altitude.
+    """
+    if scheme == "skyran":
+        ctrl = skyran_for(scenario, seed=seed, quick=quick)
+        if altitude is not None:
+            ctrl.altitude = float(altitude)
+        result = ctrl.run_epoch(budget_m=budget_m)
+        pos = result.placement.position
+        rem_maps = result.rem_maps
+        rem_grid = ctrl.rem_grid
+        time_s = result.flight_time_s
+        alt = result.altitude_m
+    elif scheme == "uniform":
+        alt = float(altitude if altitude is not None else TESTBED_ALTITUDE_M)
+        ctrl = uniform_for(scenario, altitude=alt, seed=seed, quick=quick)
+        result = ctrl.run_epoch(budget_m=budget_m)
+        pos = result.placement.position
+        rem_maps = result.rem_maps
+        rem_grid = ctrl.rem_grid
+        time_s = result.flight_time_s
+    elif scheme == "centroid":
+        alt = float(altitude if altitude is not None else TESTBED_ALTITUDE_M)
+        ctrl = centroid_for(scenario, altitude=alt, seed=seed, quick=quick)
+        result = ctrl.run_epoch()
+        pos = result.position
+        rem_maps = None
+        rem_grid = None
+        time_s = result.flight_time_s
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    rel = scenario.relative_throughput(pos)
+    if rem_maps:
+        truth = scenario.truth_maps(float(pos.z), rem_grid)
+        rem_err = median_rem_error(rem_maps, truth, ue_order=sorted(rem_maps))
+    else:
+        rem_err = float("nan")
+    return {
+        "scheme": scheme,
+        "budget_m": budget_m,
+        "relative_throughput": rel,
+        "rem_error_db": rem_err,
+        "flight_time_s": time_s,
+        "altitude_m": float(pos.z),
+    }
+
+
+def fresh_scenario(terrain: str, n_ues: int, layout: str, seed: int, quick: bool):
+    """A new scenario instance (controllers keep per-run state)."""
+    return scenario_for(terrain, n_ues=n_ues, layout=layout, seed=seed, quick=quick)
+
+
+def mean_over_seeds(
+    terrain: str,
+    n_ues: int,
+    layout: str,
+    scheme: str,
+    budget_m: float,
+    seeds,
+    quick: bool = True,
+    altitude: Optional[float] = TESTBED_ALTITUDE_M,
+) -> Dict:
+    """Average scheme performance over several scenario/controller seeds."""
+    rels, errs, times = [], [], []
+    for seed in seeds:
+        scenario = fresh_scenario(terrain, n_ues, layout, seed, quick)
+        out = run_scheme(scenario, scheme, budget_m, seed=seed, quick=quick, altitude=altitude)
+        rels.append(out["relative_throughput"])
+        errs.append(out["rem_error_db"])
+        times.append(out["flight_time_s"])
+    return {
+        "scheme": scheme,
+        "budget_m": budget_m,
+        "relative_throughput": float(np.mean(rels)),
+        "rem_error_db": float(np.nanmean(errs)) if not all(np.isnan(errs)) else float("nan"),
+        "flight_time_s": float(np.mean(times)),
+    }

@@ -1,0 +1,67 @@
+"""Battery-aware measurement budgeting (paper Section 2.5).
+
+"The shorter the duration of the measurement flight, the longer the
+UAV LTE endurance when providing LTE service."  This module makes the
+trade explicit: given the battery state and a required remaining
+service time, how many meters of measurement flight can this epoch
+afford?  The SkyRAN controller's budget can then be driven by energy
+instead of a fixed constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flight.uav import Battery
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """Converts battery state into a per-epoch measurement budget.
+
+    Attributes
+    ----------
+    min_service_s:
+        Service (hover) time that must remain affordable *after* the
+        measurement flight — the whole point of the mission.
+    reserve_fraction:
+        Fraction of capacity never touched (landing reserve).
+    speed_mps:
+        Measurement cruise speed (meters bought per second of flight).
+    """
+
+    min_service_s: float = 600.0
+    reserve_fraction: float = 0.15
+    speed_mps: float = 30.0 / 3.6
+
+    def __post_init__(self) -> None:
+        if self.min_service_s < 0:
+            raise ValueError(f"min_service_s must be >= 0, got {self.min_service_s}")
+        if not 0.0 <= self.reserve_fraction < 1.0:
+            raise ValueError(
+                f"reserve_fraction must be in [0, 1), got {self.reserve_fraction}"
+            )
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed_mps must be positive, got {self.speed_mps}")
+
+    def affordable_budget_m(self, battery: Battery) -> float:
+        """Meters of measurement flight the battery can fund this epoch.
+
+        Energy above the reserve, minus the hover energy for the
+        required service window, converted through the forward-flight
+        power draw.  Never negative.
+        """
+        reserve_wh = self.reserve_fraction * battery.capacity_wh
+        available_wh = battery.remaining_wh - reserve_wh
+        service_wh = battery.hover_power_w * self.min_service_s / 3600.0
+        spend_wh = available_wh - service_wh
+        if spend_wh <= 0:
+            return 0.0
+        seconds = spend_wh / battery.forward_power_w * 3600.0
+        return seconds * self.speed_mps
+
+    def clamp(self, requested_m: float, battery: Battery) -> float:
+        """The requested budget, capped by what the battery affords."""
+        if requested_m < 0:
+            raise ValueError(f"requested_m must be >= 0, got {requested_m}")
+        return min(requested_m, self.affordable_budget_m(battery))

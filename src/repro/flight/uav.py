@@ -1,0 +1,196 @@
+"""UAV kinematics, GPS and battery.
+
+The model is deliberately simple — constant-speed waypoint following —
+because SkyRAN's algorithms only consume (time, position) streams and
+a cost structure where flight time is proportional to trajectory
+length and motion drains the battery faster than hovering.  Those are
+the properties the paper's overhead arguments rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.trajectory.base import Trajectory
+
+#: Paper's measurement-flight ground speed (Section 4.5.2): 30 km/h.
+DEFAULT_SPEED_MPS = 30.0 / 3.6
+
+#: GPS horizontal accuracy the paper quotes for the platform: 1-5 m.
+DEFAULT_GPS_NOISE_STD_M = 1.5
+
+#: GPS fix rate (Section 3.2.1).
+GPS_RATE_HZ = 50.0
+
+#: Correlation time of the GPS error process.  GNSS error is not white:
+#: the flight controller fuses GNSS with IMU dead-reckoning, so the
+#: reported track is locally rigid — the error is a slowly wandering
+#: offset (atmospheric delays, constellation geometry) rather than
+#: per-fix scatter.  An Ornstein-Uhlenbeck error with a ~5 min time
+#: constant gives a near-constant offset over a localization flight
+#: with only decimeter-scale drift across its aperture, matching the
+#: relative/absolute accuracy split of fused GNSS+IMU estimators.
+GPS_ERROR_TAU_S = 300.0
+
+
+@dataclass
+class Battery:
+    """Energy accounting for the flight platform.
+
+    DJI M600Pro-class numbers: ~600 Wh of usable battery, ~1500 W to
+    hover with the SkyRAN payload, noticeably more in forward flight.
+    """
+
+    capacity_wh: float = 600.0
+    hover_power_w: float = 1500.0
+    forward_power_w: float = 1900.0
+    used_wh: float = 0.0
+
+    def drain_hover(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.used_wh += self.hover_power_w * seconds / 3600.0
+
+    def drain_forward(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.used_wh += self.forward_power_w * seconds / 3600.0
+
+    @property
+    def remaining_wh(self) -> float:
+        return max(0.0, self.capacity_wh - self.used_wh)
+
+    @property
+    def remaining_fraction(self) -> float:
+        return self.remaining_wh / self.capacity_wh
+
+    def endurance_hover_s(self) -> float:
+        """Hover time the remaining charge buys."""
+        return self.remaining_wh / self.hover_power_w * 3600.0
+
+
+@dataclass(frozen=True)
+class FlightLog:
+    """Time-stamped record of one flight.
+
+    Attributes
+    ----------
+    t_s:
+        ``(n,)`` GPS timestamps (50 Hz).
+    true_xyz:
+        ``(n, 3)`` true UAV positions.
+    gps_xyz:
+        ``(n, 3)`` noisy GPS fixes of the same instants.
+    distance_m:
+        Total distance flown.
+    """
+
+    t_s: np.ndarray
+    true_xyz: np.ndarray
+    gps_xyz: np.ndarray
+    distance_m: float
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.t_s[-1] - self.t_s[0]) if len(self.t_s) > 1 else 0.0
+
+    def __len__(self) -> int:
+        return len(self.t_s)
+
+
+@dataclass
+class UAV:
+    """The flight platform.
+
+    Attributes
+    ----------
+    position:
+        Current true position ``(3,)``.
+    speed_mps:
+        Cruise speed for waypoint legs.
+    gps_noise_std_m:
+        Std of the horizontal GPS error (vertical error is half).
+    battery:
+        Energy model, drained by :meth:`fly` and :meth:`hover`.
+    clock_s:
+        Mission clock; advances with every flight/hover.
+    """
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    speed_mps: float = DEFAULT_SPEED_MPS
+    gps_noise_std_m: float = DEFAULT_GPS_NOISE_STD_M
+    battery: Battery = field(default_factory=Battery)
+    clock_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).reshape(3)
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed_mps must be positive, got {self.speed_mps}")
+
+    def _gps_of(
+        self, true_xyz: np.ndarray, t_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Time-correlated (OU) GPS error around the true track."""
+        n = len(true_xyz)
+        noise = np.empty((n, 3))
+        sigma = np.array(
+            [self.gps_noise_std_m, self.gps_noise_std_m, 0.5 * self.gps_noise_std_m]
+        )
+        noise[0] = rng.normal(0.0, 1.0, 3)
+        for i in range(1, n):
+            dt = max(float(t_s[i] - t_s[i - 1]), 0.0)
+            rho = np.exp(-dt / GPS_ERROR_TAU_S)
+            noise[i] = rho * noise[i - 1] + np.sqrt(max(1.0 - rho * rho, 0.0)) * rng.normal(0.0, 1.0, 3)
+        return true_xyz + noise * sigma[None, :]
+
+    def fly(self, trajectory: Trajectory, rng: Optional[np.random.Generator] = None) -> FlightLog:
+        """Fly a trajectory from the current position; return the log.
+
+        The UAV first cuts to the trajectory start (that leg is part of
+        the log and the cost), then follows the waypoints at cruise
+        speed, emitting 50 Hz fixes.
+        """
+        rng = rng or np.random.default_rng()
+        wp = np.column_stack(
+            [
+                trajectory.waypoints,
+                np.full(len(trajectory.waypoints), trajectory.altitude),
+            ]
+        )
+        path = np.vstack([self.position[None, :], wp])
+        seg = np.diff(path, axis=0)
+        seg_len = np.linalg.norm(seg, axis=1)
+        total = float(seg_len.sum())
+        duration = total / self.speed_mps
+        n_fix = max(2, int(duration * GPS_RATE_HZ) + 1)
+        t = np.linspace(0.0, duration, n_fix)
+        cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+        arc = t * self.speed_mps
+        true = np.column_stack(
+            [np.interp(arc, cum, path[:, i]) for i in range(3)]
+        )
+        gps = self._gps_of(true, t, rng)
+        log = FlightLog(
+            t_s=self.clock_s + t,
+            true_xyz=true,
+            gps_xyz=gps,
+            distance_m=total,
+        )
+        self.position = true[-1].copy()
+        self.clock_s += duration
+        self.battery.drain_forward(duration)
+        return log
+
+    def hover(self, seconds: float) -> None:
+        """Hold position (serving LTE) for a while."""
+        self.clock_s += seconds
+        self.battery.drain_hover(seconds)
+
+    def goto(self, xyz: Sequence[float], rng: Optional[np.random.Generator] = None) -> FlightLog:
+        """Straight-line reposition to a 3D point."""
+        target = np.asarray(xyz, dtype=float).reshape(3)
+        traj = Trajectory(target[None, :2], float(target[2]), "goto")
+        return self.fly(traj, rng)

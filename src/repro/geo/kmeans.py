@@ -1,0 +1,137 @@
+"""Lloyd's K-means with k-means++ seeding.
+
+SkyRAN spatially groups high-gradient grid cells into ``K`` clusters
+whose heads become the waypoints of the measurement trajectory (paper
+Step 6.3).  A small, dependency-free implementation is sufficient: the
+inputs are a few thousand 2D cell centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a K-means run.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` array of cluster centroids.
+    labels:
+        ``(n,)`` array assigning each input point to a centroid.
+    inertia:
+        Sum of squared distances of points to their assigned centroid.
+    n_iter:
+        Number of Lloyd iterations executed.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers proportionally to D^2."""
+    n = len(points)
+    centers = np.empty((k, points.shape[1]), dtype=float)
+    first = rng.integers(n)
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing center.
+            centers[j:] = points[rng.integers(n, size=k - j)]
+            break
+        probs = closest_sq / total
+        idx = rng.choice(n, p=probs)
+        centers[j] = points[idx]
+        dist_sq = np.sum((points - centers[j]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of samples.
+    k:
+        Number of clusters; must satisfy ``1 <= k <= n``.
+    max_iter:
+        Upper bound on Lloyd iterations.
+    tol:
+        Convergence threshold on total centroid movement (meters for
+        our 2D use).
+    seed:
+        Seed for the k-means++ initialisation.
+    weights:
+        Optional per-point weights (e.g. gradient magnitudes) so that
+        hot cells pull centroids harder.
+
+    Returns
+    -------
+    KMeansResult
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2D, got shape {points.shape}")
+    n = len(points)
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n (k={k}, n={n})")
+    if weights is None:
+        w = np.ones(n, dtype=float)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+
+    rng = np.random.default_rng(seed)
+    centers = _plus_plus_init(points, k, rng)
+    labels = np.zeros(n, dtype=int)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        # Assignment step.
+        diff = points[:, None, :] - centers[None, :, :]
+        dist_sq = np.sum(diff * diff, axis=-1)
+        labels = np.argmin(dist_sq, axis=1)
+        # Update step.
+        new_centers = centers.copy()
+        for j in range(k):
+            mask = labels == j
+            mass = w[mask].sum()
+            if mass > 0:
+                new_centers[j] = np.average(points[mask], axis=0, weights=w[mask])
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                far = int(np.argmax(dist_sq[np.arange(n), labels]))
+                new_centers[j] = points[far]
+        shift = float(np.sum(np.hypot(*(new_centers - centers).T)))
+        centers = new_centers
+        if shift <= tol:
+            break
+
+    diff = points[:, None, :] - centers[None, :, :]
+    dist_sq = np.sum(diff * diff, axis=-1)
+    labels = np.argmin(dist_sq, axis=1)
+    inertia = float(np.sum(w * dist_sq[np.arange(n), labels]))
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=n_iter)

@@ -1,0 +1,122 @@
+"""Polyline utilities shared by trajectory planning and information gain.
+
+Trajectories in SkyRAN are polylines in the horizontal plane at the
+operating altitude.  The planner needs three operations: resampling a
+polyline into evenly spaced probe points (GPS/SRS sampling along the
+flight), truncating it to a measurement budget, and measuring the
+distance between a candidate trajectory and the historical trajectories
+of a UE (the paper's *information gain*, Step 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geo.points import as_xy_array
+
+
+def resample_polyline(points: Sequence, spacing: float) -> np.ndarray:
+    """Resample a polyline at (approximately) uniform arc-length spacing.
+
+    Parameters
+    ----------
+    points:
+        Polyline vertices (any 2D point representation).
+    spacing:
+        Target distance between consecutive samples in meters.
+
+    Returns
+    -------
+    ``(m, 2)`` array of samples including both endpoints.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    arr = as_xy_array(points)
+    if len(arr) == 0:
+        return arr
+    if len(arr) == 1:
+        return arr.copy()
+    seg = np.diff(arr, axis=0)
+    seg_len = np.hypot(seg[:, 0], seg[:, 1])
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cum[-1]
+    if total == 0.0:
+        return arr[:1].copy()
+    n_samples = max(2, int(np.floor(total / spacing)) + 1)
+    targets = np.linspace(0.0, total, n_samples)
+    xs = np.interp(targets, cum, arr[:, 0])
+    ys = np.interp(targets, cum, arr[:, 1])
+    return np.column_stack([xs, ys])
+
+
+def truncate_polyline(points: Sequence, budget: float) -> np.ndarray:
+    """Clip a polyline to at most ``budget`` meters of arc length.
+
+    The final vertex is interpolated so the returned polyline has
+    exactly ``min(budget, length)`` length.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    arr = as_xy_array(points)
+    if len(arr) < 2 or budget == 0:
+        return arr[:1].copy() if len(arr) else arr
+    out = [arr[0]]
+    remaining = budget
+    for i in range(1, len(arr)):
+        seg = arr[i] - arr[i - 1]
+        seg_len = float(np.hypot(seg[0], seg[1]))
+        if seg_len <= remaining:
+            out.append(arr[i])
+            remaining -= seg_len
+            if remaining <= 0:
+                break
+        else:
+            if seg_len > 0:
+                out.append(arr[i - 1] + seg * (remaining / seg_len))
+            break
+    return np.asarray(out)
+
+
+def point_to_polyline_distance(point: Sequence, polyline: Sequence) -> float:
+    """Shortest distance from a point to any segment of a polyline."""
+    arr = as_xy_array(polyline)
+    p = np.asarray(as_xy_array([point])[0], dtype=float)
+    if len(arr) == 0:
+        return float("inf")
+    if len(arr) == 1:
+        return float(np.hypot(*(p - arr[0])))
+    a = arr[:-1]
+    b = arr[1:]
+    ab = b - a
+    ab_sq = np.sum(ab * ab, axis=1)
+    ap = p[None, :] - a
+    # Parametric foot of the perpendicular, clamped to the segment.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(ab_sq > 0, np.sum(ap * ab, axis=1) / ab_sq, 0.0)
+    t = np.clip(t, 0.0, 1.0)
+    closest = a + t[:, None] * ab
+    d = np.hypot(*(p[None, :] - closest).T)
+    return float(np.min(d))
+
+
+def polyline_to_polyline_distance(
+    poly_a: Sequence, poly_b: Sequence, spacing: float = 5.0
+) -> float:
+    """Symmetric Hausdorff-style distance between two polylines.
+
+    Used as the paper's *information gain*: the farther a candidate
+    trajectory is from everything previously flown for a UE, the more
+    new channel information it is expected to collect.  We take the
+    maximum over directed distances of resampled points to the other
+    polyline (Hausdorff), which rewards trajectories that reach into
+    genuinely unexplored territory.
+    """
+    a = resample_polyline(poly_a, spacing)
+    b = resample_polyline(poly_b, spacing)
+    if len(a) == 0 or len(b) == 0:
+        return float("inf")
+    d_ab = max(point_to_polyline_distance(p, b) for p in a)
+    d_ba = max(point_to_polyline_distance(p, a) for p in b)
+    return float(max(d_ab, d_ba))

@@ -1,0 +1,133 @@
+"""Travelling-salesman heuristics for measurement trajectories.
+
+SkyRAN turns the ``K`` cluster heads into a flight path by solving a
+TSP with the heads as nodes (paper Step 6.4).  ``K`` is small (a few
+to a few tens), so a nearest-neighbour construction refined by 2-opt
+is fast and close to optimal.  The tour is *open* (the UAV does not
+need to return to its start), matching how a measurement flight ends
+at the optimal operating position rather than at its origin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.points import pairwise_distances
+
+
+def tour_length(points: np.ndarray, order: Sequence[int], closed: bool = False) -> float:
+    """Length of the tour visiting ``points`` in ``order``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of node coordinates.
+    order:
+        Permutation of ``range(n)``.
+    closed:
+        If True, include the leg from the last node back to the first.
+    """
+    points = np.asarray(points, dtype=float)
+    idx = np.asarray(list(order), dtype=int)
+    if len(idx) < 2:
+        return 0.0
+    path = points[idx]
+    seg = np.diff(path, axis=0)
+    length = float(np.sum(np.sqrt(np.sum(seg * seg, axis=1))))
+    if closed:
+        length += float(np.linalg.norm(path[-1] - path[0]))
+    return length
+
+
+def _nearest_neighbour(dist: np.ndarray, start: int) -> List[int]:
+    n = len(dist)
+    unvisited = set(range(n))
+    unvisited.remove(start)
+    order = [start]
+    current = start
+    while unvisited:
+        remaining = np.fromiter(unvisited, dtype=int)
+        nxt = int(remaining[np.argmin(dist[current, remaining])])
+        unvisited.remove(nxt)
+        order.append(nxt)
+        current = nxt
+    return order
+
+
+def _two_opt(order: List[int], dist: np.ndarray, max_rounds: int = 20) -> List[int]:
+    """Classic 2-opt improvement on an open tour."""
+    n = len(order)
+    if n < 4:
+        return order
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for i in range(n - 2):
+            a = order[i]
+            b = order[i + 1]
+            for j in range(i + 2, n - 1):
+                c = order[j]
+                d = order[j + 1]
+                delta = (dist[a, c] + dist[b, d]) - (dist[a, b] + dist[c, d])
+                if delta < -1e-12:
+                    order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+                    improved = True
+    return order
+
+
+def solve_tsp(
+    points: np.ndarray,
+    start: Optional[int] = None,
+    two_opt: bool = True,
+) -> List[int]:
+    """Order the nodes of an open TSP tour.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of node coordinates (cluster heads).
+    start:
+        Index of the node the tour must begin at (e.g. the node closest
+        to the UAV's current position).  If None, the best of all
+        starting nodes (by final tour length) is used for small inputs,
+        otherwise node 0.
+    two_opt:
+        Whether to refine the greedy tour with 2-opt.
+
+    Returns
+    -------
+    list of int
+        Visiting order (a permutation of ``range(n)``).
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    dist = pairwise_distances(points, points)
+
+    if start is not None:
+        if not 0 <= start < n:
+            raise ValueError(f"start index {start} out of range for {n} nodes")
+        candidates = [start]
+    elif n <= 12:
+        candidates = list(range(n))
+    else:
+        candidates = [0]
+
+    best_order: List[int] = []
+    best_len = np.inf
+    for s in candidates:
+        order = _nearest_neighbour(dist, s)
+        if two_opt:
+            order = _two_opt(order, dist)
+        length = tour_length(points, order)
+        if length < best_len:
+            best_len = length
+            best_order = order
+    return best_order

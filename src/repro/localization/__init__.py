@@ -1,0 +1,37 @@
+"""UAV-optimized UE localization (paper Section 3.2).
+
+The UAV's motion turns a single eNodeB into a synthetic aperture: SRS
+-derived ranges from many points along a short random flight are fused
+by multilateration.  Because onboard ToF processing adds an unknown
+constant delay, the range offset is estimated *jointly* with the UE
+position (offset-augmented least squares, solved by gradient descent
+with Huber robustification against NLOS outliers).
+"""
+
+from repro.localization.ranging import (
+    GpsRange,
+    aggregate_tof_to_gps,
+    mad_filter,
+    ranges_from_delays,
+)
+from repro.localization.multilateration import (
+    MultilaterationResult,
+    solve_multilateration,
+)
+from repro.localization.calibration import OffsetCalibrator
+from repro.localization.joint import (
+    JointLocalizationResult,
+    solve_joint_multilateration,
+)
+
+__all__ = [
+    "GpsRange",
+    "aggregate_tof_to_gps",
+    "mad_filter",
+    "ranges_from_delays",
+    "MultilaterationResult",
+    "solve_multilateration",
+    "JointLocalizationResult",
+    "solve_joint_multilateration",
+    "OffsetCalibrator",
+]

@@ -1,0 +1,66 @@
+"""Cross-epoch calibration of the ToF processing offset.
+
+The constant processing offset the multilateration estimates is a
+property of the eNodeB receive chain — it does not change between
+epochs.  Estimating it fresh every flight throws that away: the
+offset-vs-range ambiguity is the dominant error source of short
+-aperture solves.  :class:`OffsetCalibrator` keeps a robust running
+estimate across epochs and supplies it to the joint solver as a prior
+whose weight grows with the number of epochs observed, so the first
+epoch behaves exactly like the paper's cold solve while later epochs
+localize against an increasingly well-known offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class OffsetCalibrator:
+    """Robust running estimate of the receive-chain range offset.
+
+    Attributes
+    ----------
+    max_history:
+        Number of per-epoch offset estimates retained (the median of
+        these is the calibrated value).
+    weight_per_epoch:
+        Prior weight contributed by each observed epoch.  The joint
+        solver treats the prior as ``weight`` pseudo-observations of
+        the offset, so with ~300 range observations per flight a
+        weight of a few hundred makes the prior decisive after a
+        handful of epochs without ever hard-fixing it.
+    max_weight:
+        Cap on the prior weight (the chain can drift with temperature;
+        never become un-falsifiable).
+    """
+
+    max_history: int = 20
+    weight_per_epoch: float = 200.0
+    max_weight: float = 1000.0
+    _estimates: List[float] = field(default_factory=list)
+
+    def update(self, offset_m: float) -> None:
+        """Fold one epoch's offset estimate into the calibration."""
+        self._estimates.append(float(offset_m))
+        if len(self._estimates) > self.max_history:
+            self._estimates.pop(0)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self._estimates)
+
+    def prior(self) -> Optional[Tuple[float, float]]:
+        """Current ``(offset_m, weight)`` prior, or None before any data."""
+        if not self._estimates:
+            return None
+        ordered = sorted(self._estimates)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = ordered[mid]
+        else:
+            median = 0.5 * (ordered[mid - 1] + ordered[mid])
+        weight = min(self.max_weight, self.weight_per_epoch * len(self._estimates))
+        return (median, weight)

@@ -1,0 +1,144 @@
+"""Offset-augmented multilateration (paper Section 3.2.3).
+
+Each observation gives a range ``r_i`` from a known UAV anchor ``a_i``
+to the unknown UE position ``p``, corrupted by a *constant* processing
+offset ``b`` plus noise:
+
+    r_i = ||p - a_i|| + b + n_i
+
+The paper folds ``b`` into the unknowns and solves the least-squares
+problem iteratively.  The joint problem is sharply ill-conditioned for
+short flights: to first order a small aperture only determines the
+*direction* to the UE, while the range and offset separate only
+through the second-order curvature of ``||p - a_i||`` along the
+flight.  Plain gradient descent crawls in that valley, so the solver
+here is a trust-region least-squares (Levenberg-Marquardt style, via
+SciPy) with a Huber loss against heavy-tailed NLOS outliers, plus
+multiple restarts because the robust objective is non-convex.
+
+The UE height is fixed to a known antenna height (UEs are on the
+ground; the UAV flies 40-120 m above, so the geometry has almost no
+vertical diversity and estimating z would be ill-conditioned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.localization.ranging import GpsRange
+
+
+@dataclass(frozen=True)
+class MultilaterationResult:
+    """Solution of the offset-augmented multilateration.
+
+    Attributes
+    ----------
+    position:
+        Estimated UE position ``(x, y, z)``; z is the fixed input.
+    offset_m:
+        Estimated constant range offset.
+    residual_rms_m:
+        RMS of the final range residuals.
+    n_iter:
+        Residual-function evaluations used by the winning restart.
+    converged:
+        Whether the winning solve reported convergence.
+    """
+
+    position: np.ndarray
+    offset_m: float
+    residual_rms_m: float
+    n_iter: int
+    converged: bool
+
+
+def _residuals(theta: np.ndarray, anchors: np.ndarray, ranges: np.ndarray, ue_z: float):
+    p = np.array([theta[0], theta[1], ue_z])
+    dist = np.linalg.norm(anchors - p[None, :], axis=1)
+    return dist + theta[2] - ranges
+
+
+def solve_multilateration(
+    observations: Sequence[GpsRange],
+    ue_z: float = 1.5,
+    huber_delta_m: float = 10.0,
+    max_iter: int = 400,
+    tol: float = 1e-8,
+    restarts: int = 4,
+    seed: Optional[int] = 0,
+) -> MultilaterationResult:
+    """Solve for the UE position and the constant range offset.
+
+    Parameters
+    ----------
+    observations:
+        GPS-range tuples from the localization flight (>= 3 required;
+        more anchors and more flight-path curvature improve geometry).
+    ue_z:
+        Assumed UE antenna height (meters above datum).
+    huber_delta_m:
+        Residual scale beyond which the loss becomes linear.
+    max_iter:
+        Cap on residual evaluations per restart.
+    tol:
+        Convergence tolerance (cost and parameter change).
+    restarts:
+        Number of starting points; the best final robust cost wins.
+    seed:
+        RNG seed for restart jitter.
+
+    Returns
+    -------
+    MultilaterationResult
+    """
+    obs = list(observations)
+    if len(obs) < 3:
+        raise ValueError(f"need at least 3 observations, got {len(obs)}")
+    anchors = np.array([o.gps_xyz for o in obs], dtype=float)
+    ranges = np.array([o.range_m for o in obs], dtype=float)
+
+    rng = np.random.default_rng(seed)
+    centroid = anchors[:, :2].mean(axis=0)
+    spread = max(float(anchors[:, :2].std()), 10.0)
+
+    # Starting points: the anchor centroid, the closest-range anchor,
+    # and jittered variants (the Huber objective is non-convex).
+    closest = anchors[np.argmin(ranges), :2]
+    starts = [centroid, closest]
+    for _ in range(max(0, restarts - len(starts))):
+        starts.append(centroid + rng.normal(0.0, 3.0 * spread, 2))
+
+    best = None
+    for p0 in starts:
+        dz = ue_z - anchors[:, 2]
+        dist0 = np.sqrt(np.sum((p0[None, :] - anchors[:, :2]) ** 2, axis=1) + dz * dz)
+        b0 = float(np.median(ranges - dist0))
+        sol = least_squares(
+            _residuals,
+            x0=np.array([p0[0], p0[1], b0]),
+            args=(anchors, ranges, ue_z),
+            loss="huber",
+            f_scale=huber_delta_m,
+            max_nfev=max_iter,
+            xtol=tol,
+            ftol=tol,
+            gtol=tol,
+        )
+        if best is None or sol.cost < best.cost:
+            best = sol
+
+    theta = best.x
+    position = np.array([theta[0], theta[1], ue_z])
+    res = _residuals(theta, anchors, ranges, ue_z)
+    return MultilaterationResult(
+        position=position,
+        offset_m=float(theta[2]),
+        residual_rms_m=float(np.sqrt(np.mean(res**2))),
+        n_iter=int(best.nfev),
+        converged=bool(best.success),
+    )

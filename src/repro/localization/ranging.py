@@ -1,0 +1,117 @@
+"""From ToF reports to GPS-range tuples.
+
+The eNodeB produces SRS-based ToF estimates at 100 Hz while the flight
+controller produces GPS fixes at 50 Hz (paper Section 3.2.1).  The
+paper averages the ~2 ToF values that land between consecutive GPS
+fixes and emits one ``(gps, mean ToF)`` tuple per fix; this module
+implements that aggregation plus an MAD outlier filter for the heavy
+-tailed NLOS ranging errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.lte.srs import SRSConfig
+
+
+@dataclass(frozen=True)
+class GpsRange:
+    """One fused localization observation.
+
+    Attributes
+    ----------
+    gps_xyz:
+        UAV GPS fix (ENU meters) — noisy, as reported by the flight
+        controller.
+    range_m:
+        Mean SRS-derived range assigned to this fix.  Includes the
+        constant processing offset; the solver removes it.
+    t_s:
+        Timestamp (seconds into the flight).
+    """
+
+    gps_xyz: np.ndarray
+    range_m: float
+    t_s: float
+
+
+def ranges_from_delays(delays_samples: np.ndarray, config: SRSConfig) -> np.ndarray:
+    """Convert ToF delays in samples to one-way ranges in meters."""
+    return np.asarray(delays_samples, dtype=float) * config.meters_per_sample
+
+
+def aggregate_tof_to_gps(
+    gps_times_s: Sequence[float],
+    gps_xyz: np.ndarray,
+    tof_times_s: Sequence[float],
+    ranges_m: Sequence[float],
+) -> List[GpsRange]:
+    """Average the ToF ranges between consecutive GPS fixes (paper 3.2.2).
+
+    Ranges with timestamps in ``[t_i, t_{i+1})`` are averaged and
+    assigned to GPS fix ``i``; fixes with no ToF report in their window
+    are dropped.  The final fix collects everything at or after its
+    timestamp.
+    """
+    gps_times = np.asarray(gps_times_s, dtype=float)
+    gps_xyz = np.asarray(gps_xyz, dtype=float)
+    tof_times = np.asarray(tof_times_s, dtype=float)
+    ranges = np.asarray(ranges_m, dtype=float)
+    if gps_xyz.shape != (len(gps_times), 3):
+        raise ValueError(
+            f"gps_xyz must be ({len(gps_times)}, 3), got {gps_xyz.shape}"
+        )
+    if tof_times.shape != ranges.shape:
+        raise ValueError("tof_times_s and ranges_m must have the same length")
+    out: List[GpsRange] = []
+    for i, t in enumerate(gps_times):
+        t_next = gps_times[i + 1] if i + 1 < len(gps_times) else np.inf
+        mask = (tof_times >= t) & (tof_times < t_next)
+        if not mask.any():
+            continue
+        out.append(GpsRange(gps_xyz=gps_xyz[i], range_m=float(ranges[mask].mean()), t_s=float(t)))
+    return out
+
+
+def mad_filter(
+    observations: Sequence[GpsRange],
+    k: float = 4.0,
+    k_pos: Optional[float] = None,
+) -> List[GpsRange]:
+    """Drop observations whose *range residual vs. a smooth trend* is extreme.
+
+    Ranging errors in NLOS are heavy-tailed and one-sided: excess
+    multipath delay only ever *adds* range.  We detrend the range
+    series with a moving median and reject points more than ``k``
+    scaled MADs below/above it — with a tighter positive-side cut
+    ``k_pos`` (pass None to disable the asymmetry), since a late
+    outlier is almost surely a multipath spike while an equally early
+    one would be unphysical noise worth keeping symmetric tolerance
+    for.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k_pos is not None and k_pos <= 0:
+        raise ValueError(f"k_pos must be positive, got {k_pos}")
+    obs = list(observations)
+    if len(obs) < 5:
+        return obs
+    r = np.array([o.range_m for o in obs])
+    window = min(11, len(r) | 1)  # odd window
+    half = window // 2
+    trend = np.array(
+        [np.median(r[max(0, i - half) : i + half + 1]) for i in range(len(r))]
+    )
+    resid = r - trend
+    center = np.median(resid)
+    mad = np.median(np.abs(resid - center))
+    scale = 1.4826 * mad
+    if scale <= 1e-9:
+        return obs
+    upper = (k_pos if k_pos is not None else k) * scale
+    keep = (resid - center >= -k * scale) & (resid - center <= upper)
+    return [o for o, good in zip(obs, keep) if good]

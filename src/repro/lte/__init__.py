@@ -1,0 +1,48 @@
+"""LTE substrate.
+
+SkyRAN's localization runs entirely inside the LTE PHY: the eNodeB on
+the UAV receives standard uplink Sounding Reference Signals (SRS) from
+each UE and extracts signal time-of-flight via an upsampled IFFT
+cross-correlation (paper Section 3.2, Eqs. 1-3).  This package
+implements that PHY end to end on synthetic signals — Zadoff-Chu SRS
+symbols, a delay + multipath + AWGN channel, the exact Eq. 1-3
+estimator — plus the MAC-level pieces an LTE RAN needs: an SNR -> CQI
+-> MCS -> throughput mapping, an eNodeB with a round-robin PRB
+scheduler, and a minimal EPC (attach/bearer state machines).
+"""
+
+from repro.lte.srs import SRSConfig, apply_channel, make_srs_symbol, zadoff_chu
+from repro.lte.tof import ToFEstimator, estimate_delay_samples, upsample_freq
+from repro.lte.throughput import (
+    CQI_TABLE,
+    cqi_from_snr,
+    spectral_efficiency,
+    throughput_mbps,
+)
+from repro.lte.linkadapt import OuterLoopLinkAdaptation, simulate_link
+from repro.lte.ue import UE, UEState
+from repro.lte.enodeb import ENodeB, SchedulerResult
+from repro.lte.epc import EPC, BearerState, SessionRecord
+
+__all__ = [
+    "SRSConfig",
+    "apply_channel",
+    "make_srs_symbol",
+    "zadoff_chu",
+    "ToFEstimator",
+    "estimate_delay_samples",
+    "upsample_freq",
+    "CQI_TABLE",
+    "cqi_from_snr",
+    "spectral_efficiency",
+    "throughput_mbps",
+    "UE",
+    "UEState",
+    "OuterLoopLinkAdaptation",
+    "simulate_link",
+    "ENodeB",
+    "SchedulerResult",
+    "EPC",
+    "BearerState",
+    "SessionRecord",
+]

@@ -1,0 +1,121 @@
+"""Minimal Evolved Packet Core.
+
+The SkyRAN payload runs a full software EPC on a second SBC (paper
+Section 4.1); its role in the system is UE authentication/registration,
+bearer management and session accounting.  This module provides those
+functions at the fidelity the RAN simulation needs: a subscriber
+database, an attach procedure that moves UEs through the EMM states,
+default-bearer setup, and per-session byte counters the throughput
+harness feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.lte.ue import UE, UEState
+
+
+class BearerState(Enum):
+    """EPS bearer lifecycle."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    RELEASED = "released"
+
+
+@dataclass
+class SessionRecord:
+    """Accounting record for one UE's PDN session.
+
+    Attributes
+    ----------
+    imsi:
+        Subscriber the session belongs to.
+    bearer_id:
+        EPS bearer identity (5 is the LTE default-bearer id).
+    state:
+        Bearer state.
+    bytes_down / bytes_up:
+        Cumulative traffic counters, maintained by the harness.
+    attach_time_s:
+        Simulation time at attach.
+    """
+
+    imsi: str
+    bearer_id: int = 5
+    state: BearerState = BearerState.PENDING
+    bytes_down: int = 0
+    bytes_up: int = 0
+    attach_time_s: float = 0.0
+
+
+class EPC:
+    """A single-box core network co-located with the eNodeB.
+
+    The subscriber database is provisioned up front (as with real SIM
+    provisioning); attach requests from unknown IMSIs are rejected,
+    which tests exercise.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, bool] = {}
+        self._sessions: Dict[str, SessionRecord] = {}
+
+    # -- provisioning --------------------------------------------------------
+
+    def provision(self, imsi: str) -> None:
+        """Add a subscriber to the HSS database."""
+        if not imsi:
+            raise ValueError("imsi must be non-empty")
+        self._subscribers[imsi] = True
+
+    def is_provisioned(self, imsi: str) -> bool:
+        return imsi in self._subscribers
+
+    # -- attach / detach --------------------------------------------------------
+
+    def attach(self, ue: UE, now_s: float = 0.0) -> SessionRecord:
+        """Run the attach procedure for a UE.
+
+        Raises
+        ------
+        PermissionError
+            If the IMSI is not provisioned (authentication failure).
+        """
+        if not self.is_provisioned(ue.imsi):
+            ue.state = UEState.DETACHED
+            raise PermissionError(f"IMSI {ue.imsi} not provisioned")
+        ue.state = UEState.ATTACHING
+        record = SessionRecord(imsi=ue.imsi, attach_time_s=now_s)
+        record.state = BearerState.ACTIVE
+        self._sessions[ue.imsi] = record
+        ue.state = UEState.CONNECTED
+        return record
+
+    def detach(self, ue: UE) -> None:
+        """Detach a UE and release its bearer."""
+        record = self._sessions.get(ue.imsi)
+        if record is not None:
+            record.state = BearerState.RELEASED
+        ue.state = UEState.DETACHED
+
+    # -- session queries --------------------------------------------------------
+
+    def session_of(self, imsi: str) -> Optional[SessionRecord]:
+        return self._sessions.get(imsi)
+
+    def active_sessions(self) -> List[SessionRecord]:
+        return [s for s in self._sessions.values() if s.state is BearerState.ACTIVE]
+
+    def account_traffic(self, imsi: str, down_bytes: int = 0, up_bytes: int = 0) -> None:
+        """Add traffic to a session's counters."""
+        record = self._sessions.get(imsi)
+        if record is None or record.state is not BearerState.ACTIVE:
+            raise KeyError(f"no active session for IMSI {imsi}")
+        if down_bytes < 0 or up_bytes < 0:
+            raise ValueError("traffic increments must be non-negative")
+        record.bytes_down += down_bytes
+        record.bytes_up += up_bytes

@@ -1,0 +1,124 @@
+"""Outer-loop link adaptation (OLLA).
+
+Real eNodeBs do not trust reported CQI blindly: fading, feedback delay
+and UE-vendor calibration make raw CQI optimistic or pessimistic.  The
+outer loop nudges a per-UE SNR offset after every HARQ ACK/NACK so the
+realized block error rate converges to a target (canonically 10%).
+This matters to SkyRAN because the PHY's *effective* throughput during
+flights — when the channel whips around (Fig. 7) — is what the epoch
+trigger watches.
+
+The implementation is the textbook additive-increase scheme: on NACK
+the offset drops by ``step_db``; on ACK it rises by
+``step_db * target / (1 - target)``, which makes the equilibrium NACK
+rate equal the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.lte.throughput import cqi_from_snr, throughput_mbps
+
+
+@dataclass
+class OuterLoopLinkAdaptation:
+    """Per-UE SNR-offset controller targeting a BLER.
+
+    Attributes
+    ----------
+    target_bler:
+        The block-error-rate setpoint (LTE convention: 0.1).
+    step_db:
+        Offset decrement on a NACK.
+    min_offset_db / max_offset_db:
+        Clamp on the accumulated offset.
+    """
+
+    target_bler: float = 0.1
+    step_db: float = 0.5
+    min_offset_db: float = -10.0
+    max_offset_db: float = 10.0
+    _offsets: Dict[int, float] = field(default_factory=dict)
+    _acks: Dict[int, int] = field(default_factory=dict)
+    _nacks: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_bler < 1.0:
+            raise ValueError(f"target_bler must be in (0, 1), got {self.target_bler}")
+        if self.step_db <= 0:
+            raise ValueError(f"step_db must be positive, got {self.step_db}")
+
+    def offset_db(self, ue_id: int) -> float:
+        """Current SNR correction for a UE (0 until feedback arrives)."""
+        return self._offsets.get(ue_id, 0.0)
+
+    def effective_snr_db(self, ue_id: int, reported_snr_db: float) -> float:
+        """Reported SNR plus the learned correction."""
+        return reported_snr_db + self.offset_db(ue_id)
+
+    def report(self, ue_id: int, ack: bool) -> float:
+        """Fold one HARQ outcome in; returns the new offset."""
+        up = self.step_db * self.target_bler / (1.0 - self.target_bler)
+        offset = self._offsets.get(ue_id, 0.0)
+        if ack:
+            offset += up
+            self._acks[ue_id] = self._acks.get(ue_id, 0) + 1
+        else:
+            offset -= self.step_db
+            self._nacks[ue_id] = self._nacks.get(ue_id, 0) + 1
+        offset = float(np.clip(offset, self.min_offset_db, self.max_offset_db))
+        self._offsets[ue_id] = offset
+        return offset
+
+    def realized_bler(self, ue_id: int) -> Optional[float]:
+        """Observed BLER so far for a UE (None before any feedback)."""
+        acks = self._acks.get(ue_id, 0)
+        nacks = self._nacks.get(ue_id, 0)
+        total = acks + nacks
+        if total == 0:
+            return None
+        return nacks / total
+
+
+def simulate_link(
+    olla: OuterLoopLinkAdaptation,
+    ue_id: int,
+    mean_snr_db: float,
+    n_tti: int,
+    rng: np.random.Generator,
+    fading_std_db: float = 3.0,
+    decode_margin_db: float = 1.0,
+) -> Dict[str, float]:
+    """Drive a fading link through the outer loop for ``n_tti`` TTIs.
+
+    Per TTI: the UE reports a (stale, noisy) SNR; the eNodeB schedules
+    at the OLLA-corrected CQI; the transport block decodes iff the
+    *actual* SNR covers the scheduled CQI's threshold minus a margin.
+    Returns realized BLER and mean goodput.
+    """
+    if n_tti < 1:
+        raise ValueError(f"n_tti must be >= 1, got {n_tti}")
+    from repro.lte.throughput import _THRESHOLDS  # threshold table
+
+    goodput = 0.0
+    for _ in range(n_tti):
+        actual = mean_snr_db + rng.normal(0.0, fading_std_db)
+        reported = mean_snr_db + rng.normal(0.0, fading_std_db)  # stale sample
+        scheduled_snr = olla.effective_snr_db(ue_id, reported)
+        cqi = cqi_from_snr(scheduled_snr)
+        if cqi == 0:
+            continue  # nothing scheduled this TTI
+        needed = _THRESHOLDS[cqi - 1] - decode_margin_db
+        ack = actual >= needed
+        olla.report(ue_id, ack)
+        if ack:
+            goodput += throughput_mbps(scheduled_snr)
+    return {
+        "bler": olla.realized_bler(ue_id) or 0.0,
+        "mean_goodput_mbps": goodput / n_tti,
+        "final_offset_db": olla.offset_db(ue_id),
+    }

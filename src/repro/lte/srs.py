@@ -1,0 +1,196 @@
+"""Uplink Sounding Reference Signal (SRS) synthesis and channel.
+
+The SRS is a known PHY-layer signal the UE sends so the eNodeB can
+sound the uplink channel; LTE builds it from Zadoff-Chu sequences,
+whose constant amplitude and ideal cyclic autocorrelation are exactly
+what a correlation-based ToF estimator wants.  We synthesize
+frequency-domain SRS symbols on the 10 MHz LTE numerology the paper
+uses (1024-point FFT, 15.36 MS/s) and push them through a delay +
+multipath + AWGN channel, so the ToF estimator downstream faces the
+same physics as the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.fspl import SPEED_OF_LIGHT
+
+
+def zadoff_chu(root: int, length: int) -> np.ndarray:
+    """Zadoff-Chu sequence of a given root and length.
+
+    ``length`` should be coprime with ``root`` for the ideal constant
+    -amplitude zero-autocorrelation property; LTE uses prime lengths.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if not 0 < root < length:
+        raise ValueError(f"root must satisfy 0 < root < length, got {root}")
+    if gcd(root, length) != 1:
+        raise ValueError(f"root {root} must be coprime with length {length}")
+    n = np.arange(length)
+    if length % 2 == 0:
+        phase = -np.pi * root * n * n / length
+    else:
+        phase = -np.pi * root * n * (n + 1) / length
+    return np.exp(1j * phase)
+
+
+@dataclass(frozen=True)
+class SRSConfig:
+    """Numerology for SRS symbols.
+
+    Defaults model the paper's setup: 10 MHz LTE carrier, 1024-point
+    FFT sampled at 15.36 MS/s, SRS sounding 576 subcarriers (48 RBs).
+
+    Attributes
+    ----------
+    n_fft:
+        FFT size (number of OFDM samples per symbol).
+    n_subcarriers:
+        Number of subcarriers the SRS occupies (centered on DC).
+    sample_rate_hz:
+        Baseband sampling rate.
+    zc_root:
+        Zadoff-Chu root for the base sequence.
+    """
+
+    n_fft: int = 1024
+    n_subcarriers: int = 576
+    sample_rate_hz: float = 15.36e6
+    zc_root: int = 25
+
+    def __post_init__(self) -> None:
+        if self.n_fft <= 0 or self.n_fft & (self.n_fft - 1):
+            raise ValueError(f"n_fft must be a positive power of two, got {self.n_fft}")
+        if not 0 < self.n_subcarriers <= self.n_fft:
+            raise ValueError(
+                f"n_subcarriers must be in (0, n_fft], got {self.n_subcarriers}"
+            )
+        if self.sample_rate_hz <= 0:
+            raise ValueError(f"sample_rate_hz must be positive, got {self.sample_rate_hz}")
+
+    @property
+    def sample_period_s(self) -> float:
+        return 1.0 / self.sample_rate_hz
+
+    @property
+    def meters_per_sample(self) -> float:
+        """Real-world distance per time-domain sample (19.5 m at 10 MHz)."""
+        return SPEED_OF_LIGHT / self.sample_rate_hz
+
+    def subcarrier_bins(self) -> np.ndarray:
+        """FFT bin indices the SRS occupies (centered on DC).
+
+        Uses the standard FFT layout: positive frequencies in bins
+        ``1 .. n/2``, negative frequencies at the top.  DC is skipped,
+        as LTE leaves the DC subcarrier unused.
+        """
+        half = self.n_subcarriers // 2
+        pos = np.arange(1, half + 1)
+        neg = np.arange(self.n_fft - (self.n_subcarriers - half), self.n_fft)
+        return np.concatenate([pos, neg])
+
+
+def make_srs_symbol(config: SRSConfig, root: Optional[int] = None) -> np.ndarray:
+    """Frequency-domain SRS symbol: a Zadoff-Chu sequence on the SRS bins.
+
+    Returns a complex ``(n_fft,)`` vector; bins outside the sounding
+    bandwidth are zero.
+    """
+    root = config.zc_root if root is None else root
+    # Largest prime <= n_subcarriers keeps the ZC property; repeat-pad
+    # the tail as the LTE spec does for sequence length mismatches.
+    length = _largest_prime_at_most(config.n_subcarriers)
+    zc = zadoff_chu(root, length)
+    seq = np.resize(zc, config.n_subcarriers)
+    symbol = np.zeros(config.n_fft, dtype=complex)
+    symbol[config.subcarrier_bins()] = seq
+    return symbol
+
+
+def _largest_prime_at_most(n: int) -> int:
+    """Largest prime <= n (n >= 2)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    for candidate in range(n, 1, -1):
+        if candidate < 4:
+            return candidate
+        if candidate % 2 == 0:
+            continue
+        is_prime = True
+        for d in range(3, int(candidate**0.5) + 1, 2):
+            if candidate % d == 0:
+                is_prime = False
+                break
+        if is_prime:
+            return candidate
+    return 2
+
+
+def _delay_phase(config: SRSConfig, delay_samples: float) -> np.ndarray:
+    """Per-bin phase ramp implementing a (possibly fractional) delay.
+
+    A time delay of ``d`` samples multiplies frequency bin ``f_k`` by
+    ``exp(-j 2 pi f_k d / N)`` where ``f_k`` is the *signed* frequency
+    of the bin (``fftfreq`` convention), which is the band-limited
+    interpolation of the delay.
+    """
+    freqs = np.fft.fftfreq(config.n_fft) * config.n_fft
+    return np.exp(-2j * np.pi * freqs * delay_samples / config.n_fft)
+
+
+def apply_channel(
+    symbol: np.ndarray,
+    config: SRSConfig,
+    delay_samples: float,
+    snr_db: float,
+    rng: np.random.Generator,
+    multipath: Sequence[Tuple[float, float]] = (),
+) -> np.ndarray:
+    """Propagate a frequency-domain SRS symbol through the channel.
+
+    Parameters
+    ----------
+    symbol:
+        Transmitted frequency-domain SRS symbol, ``(n_fft,)``.
+    config:
+        Numerology (for the bin frequencies).
+    delay_samples:
+        Direct-path propagation delay in (fractional) samples.
+    snr_db:
+        Per-subcarrier SNR of the direct path at the receiver.
+    rng:
+        Noise generator.
+    multipath:
+        Extra taps as ``(excess_delay_samples, relative_power_db)``
+        pairs; each adds a delayed, attenuated copy with random phase.
+        NLOS links put most energy into positive-excess-delay taps,
+        which is what biases ToF high in obstructed environments.
+
+    Returns
+    -------
+    Received frequency-domain symbol ``(n_fft,)``.
+    """
+    symbol = np.asarray(symbol, dtype=complex)
+    if symbol.shape != (config.n_fft,):
+        raise ValueError(f"symbol must be ({config.n_fft},), got {symbol.shape}")
+    rx = symbol * _delay_phase(config, delay_samples)
+    for excess, power_db in multipath:
+        if excess < 0:
+            raise ValueError(f"multipath excess delay must be >= 0, got {excess}")
+        amp = 10.0 ** (power_db / 20.0)
+        phase = np.exp(2j * np.pi * rng.random())
+        rx = rx + amp * phase * symbol * _delay_phase(config, delay_samples + excess)
+    # AWGN scaled against the average active-subcarrier signal power.
+    active = np.abs(symbol) > 0
+    sig_power = float(np.mean(np.abs(symbol[active]) ** 2)) if active.any() else 1.0
+    noise_power = sig_power / (10.0 ** (snr_db / 10.0))
+    noise = rng.normal(0.0, np.sqrt(noise_power / 2.0), (config.n_fft, 2))
+    rx = rx + noise[:, 0] + 1j * noise[:, 1]
+    return rx

@@ -1,0 +1,91 @@
+"""SNR -> CQI -> MCS -> throughput mapping.
+
+The paper reports LTE throughput; our oracle is SNR maps.  The bridge
+is the standard LTE link adaptation pipeline: the UE reports a CQI
+index chosen so the corresponding MCS would decode at ~10% BLER, and
+the eNodeB schedules at the CQI's spectral efficiency.  We use the
+36.213 Table 7.2.3-1 efficiencies with the commonly used SNR switching
+thresholds, which saturates a 10 MHz carrier near 38 Mb/s — the same
+scale as the paper's Fig. 1 (peak ~30 Mb/s average).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: (min SNR dB, CQI index, spectral efficiency bits/s/Hz) per 36.213
+#: Table 7.2.3-1 with conventional AWGN switching thresholds.
+CQI_TABLE: List[Tuple[float, int, float]] = [
+    (-6.7, 1, 0.1523),
+    (-4.7, 2, 0.2344),
+    (-2.3, 3, 0.3770),
+    (0.2, 4, 0.6016),
+    (2.4, 5, 0.8770),
+    (4.3, 6, 1.1758),
+    (5.9, 7, 1.4766),
+    (8.1, 8, 1.9141),
+    (10.3, 9, 2.4063),
+    (11.7, 10, 2.7305),
+    (14.1, 11, 3.3223),
+    (16.3, 12, 3.9023),
+    (18.7, 13, 4.5234),
+    (21.0, 14, 5.1152),
+    (22.7, 15, 5.5547),
+]
+
+_THRESHOLDS = np.array([row[0] for row in CQI_TABLE])
+_EFFICIENCIES = np.array([row[2] for row in CQI_TABLE])
+
+#: Bandwidth of one LTE physical resource block.
+PRB_BANDWIDTH_HZ = 180e3
+
+#: PRBs in a 10 MHz LTE carrier.
+PRB_PER_10MHZ = 50
+
+#: Fraction of resource elements consumed by reference signals,
+#: control channels and sync — not available for user data.
+DEFAULT_OVERHEAD = 0.25
+
+
+def cqi_from_snr(snr_db):
+    """CQI index (0 = out of range, 1-15 otherwise) for SNR in dB."""
+    snr = np.asarray(snr_db, dtype=float)
+    idx = np.searchsorted(_THRESHOLDS, snr, side="right")
+    if np.isscalar(snr_db):
+        return int(idx)
+    return idx.astype(int)
+
+
+def spectral_efficiency(snr_db):
+    """Scheduled spectral efficiency in bits/s/Hz (0 below CQI 1)."""
+    snr = np.asarray(snr_db, dtype=float)
+    idx = np.searchsorted(_THRESHOLDS, snr, side="right")
+    eff = np.where(idx > 0, _EFFICIENCIES[np.maximum(idx - 1, 0)], 0.0)
+    if np.isscalar(snr_db):
+        return float(eff)
+    return eff
+
+
+def throughput_mbps(
+    snr_db,
+    n_prb: int = PRB_PER_10MHZ,
+    overhead: float = DEFAULT_OVERHEAD,
+):
+    """Achievable MAC throughput in Mb/s when scheduled on ``n_prb`` PRBs.
+
+    This is the *full-cell* per-UE throughput: what one UE gets when it
+    is granted all PRBs, which is how the paper reports "average
+    throughput per UE".  Cell sharing among concurrent UEs is handled
+    by the eNodeB scheduler (:mod:`repro.lte.enodeb`).
+    """
+    if n_prb <= 0:
+        raise ValueError(f"n_prb must be positive, got {n_prb}")
+    if not 0.0 <= overhead < 1.0:
+        raise ValueError(f"overhead must be in [0, 1), got {overhead}")
+    eff = spectral_efficiency(snr_db)
+    rate = eff * n_prb * PRB_BANDWIDTH_HZ * (1.0 - overhead) / 1e6
+    if np.isscalar(snr_db):
+        return float(rate)
+    return rate

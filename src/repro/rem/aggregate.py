@@ -1,0 +1,64 @@
+"""Combining per-UE REMs.
+
+Two reductions matter in SkyRAN: the cell-wise *sum* of per-UE maps
+(the aggregate REM that trajectory planning takes gradients of, Step
+6.1) and the cell-wise *minimum* (the min-SNR map whose argmax is the
+max-min placement, Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _stack(maps: Sequence[np.ndarray]) -> np.ndarray:
+    arrs = [np.asarray(m, dtype=float) for m in maps]
+    if not arrs:
+        raise ValueError("need at least one map")
+    shape = arrs[0].shape
+    for a in arrs:
+        if a.shape != shape:
+            raise ValueError(f"map shapes differ: {a.shape} vs {shape}")
+    return np.stack(arrs)
+
+
+def aggregate_rem(maps: Sequence[np.ndarray]) -> np.ndarray:
+    """Cell-wise sum of per-UE SNR maps (paper Step 6.1).
+
+    NaN cells are treated as missing (ignored in the sum); a cell that
+    is NaN in *every* map stays NaN.
+    """
+    stack = _stack(maps)
+    all_nan = np.isnan(stack).all(axis=0)
+    with np.errstate(invalid="ignore"):
+        out = np.nansum(stack, axis=0)
+    out[all_nan] = np.nan
+    return out
+
+
+def min_snr_map(maps: Sequence[np.ndarray]) -> np.ndarray:
+    """Cell-wise minimum over per-UE SNR maps (paper Section 3.4).
+
+    NaN in any constituent map makes the cell NaN — placement must not
+    pick a cell whose SNR to some UE is unknown.
+    """
+    stack = _stack(maps)
+    return np.min(stack, axis=0)
+
+
+def argmax_cell(snr_map: np.ndarray):
+    """Index ``(iy, ix)`` of the maximum finite cell of a map.
+
+    Raises
+    ------
+    ValueError
+        If the map has no finite cells.
+    """
+    m = np.asarray(snr_map, dtype=float)
+    if not np.isfinite(m).any():
+        raise ValueError("map has no finite cells")
+    flat = np.where(np.isfinite(m), m, -np.inf)
+    iy, ix = np.unravel_index(int(np.argmax(flat)), m.shape)
+    return iy, ix

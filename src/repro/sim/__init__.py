@@ -1,0 +1,34 @@
+"""Simulation harness.
+
+:class:`~repro.sim.scenario.Scenario` bundles a terrain, a channel, a
+UE deployment and the ground-truth oracle (optimal position, relative
+throughput).  :mod:`repro.sim.runner` drives controllers through
+multi-epoch runs with UE dynamics and budget accounting — the engine
+behind the Section 5 scale-up benches.
+"""
+
+from repro.sim.scenario import PlacementEvaluation, Scenario
+from repro.sim.runner import (
+    EpochRecord,
+    overhead_to_target,
+    run_epochs,
+)
+from repro.sim.metrics import (
+    median_rem_error,
+    relative_series,
+    summarize,
+)
+from repro.sim.records import load_records, save_records
+
+__all__ = [
+    "Scenario",
+    "PlacementEvaluation",
+    "EpochRecord",
+    "run_epochs",
+    "overhead_to_target",
+    "median_rem_error",
+    "relative_series",
+    "summarize",
+    "load_records",
+    "save_records",
+]

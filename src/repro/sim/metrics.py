@@ -1,0 +1,56 @@
+"""Metric helpers shared by benches and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.rem.accuracy import median_abs_error_db
+
+
+def median_rem_error(
+    estimated_maps: Mapping[int, np.ndarray],
+    truth_stack: np.ndarray,
+    ue_order: Optional[Sequence[int]] = None,
+) -> float:
+    """Median REM error over UEs, in dB.
+
+    ``truth_stack`` rows must correspond to ``ue_order`` (or the sorted
+    keys of ``estimated_maps`` when omitted).  The per-UE error is the
+    median absolute per-cell error; the reported value is the median of
+    those across UEs — matching the "Median REM Accuracy (dB)" axis of
+    Figs. 4, 20, 24, 28 and 30.
+    """
+    keys = list(ue_order) if ue_order is not None else sorted(estimated_maps)
+    if len(keys) != len(truth_stack):
+        raise ValueError(
+            f"{len(keys)} estimated maps vs {len(truth_stack)} truth maps"
+        )
+    errors = [
+        median_abs_error_db(estimated_maps[k], truth_stack[i])
+        for i, k in enumerate(keys)
+    ]
+    return float(np.median(errors))
+
+
+def relative_series(values: Iterable[float], reference: float) -> List[float]:
+    """Normalize a series by a reference (0 if the reference is 0)."""
+    if reference <= 0:
+        return [0.0 for _ in values]
+    return [v / reference for v in values]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Five-number-ish summary used in bench printouts."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return {
+        "mean": float(np.mean(arr)),
+        "median": float(np.median(arr)),
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+        "min": float(np.min(arr)),
+        "max": float(np.max(arr)),
+    }

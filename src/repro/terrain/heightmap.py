@@ -1,0 +1,143 @@
+"""Heightmap terrain representation.
+
+A :class:`Terrain` is a :class:`~repro.geo.grid.GridSpec` plus a 2D
+array of surface heights (ground + buildings + canopy) in meters above
+the local datum.  It answers the two questions the channel model asks:
+"how high is the surface at (x, y)?" and, vectorized, "how high is the
+surface under each of these sample points?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.geo.grid import GridSpec
+
+
+@dataclass(frozen=True)
+class Terrain:
+    """A rasterized terrain surface.
+
+    Attributes
+    ----------
+    grid:
+        The grid the heightmap is laid over.
+    heights:
+        ``(ny, nx)`` float array of surface heights in meters.  The
+        surface includes every obstruction a radio ray can hit: ground
+        elevation, buildings and tree canopy.
+    name:
+        Human-readable terrain identifier (e.g. ``"nyc"``).
+    """
+
+    grid: GridSpec
+    heights: np.ndarray
+    name: str = "terrain"
+
+    def __post_init__(self) -> None:
+        h = np.asarray(self.heights, dtype=float)
+        if h.shape != self.grid.shape:
+            raise ValueError(
+                f"heights shape {h.shape} does not match grid shape {self.grid.shape}"
+            )
+        object.__setattr__(self, "heights", h)
+
+    # -- queries ---------------------------------------------------------------
+
+    def height_at(self, x: float, y: float) -> float:
+        """Surface height at a world point (nearest-cell lookup)."""
+        ix, iy = self.grid.cell_of(x, y)
+        return float(self.heights[iy, ix])
+
+    def heights_at(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorized surface heights under an ``(n, 2)`` array of points."""
+        ix, iy = self.grid.cells_of(np.asarray(xy, dtype=float).reshape(-1, 2))
+        return self.heights[iy, ix]
+
+    def heights_at_xy(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Surface heights for broadcastable coordinate arrays.
+
+        ``xs``/``ys`` may have any (matching) shape; the result has the
+        same shape.  Used by the vectorized ray tracer where sample
+        points come as ``(n_rays, n_steps)`` grids.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        ix = np.floor((xs - self.grid.origin_x) / self.grid.cell_size).astype(int)
+        iy = np.floor((ys - self.grid.origin_y) / self.grid.cell_size).astype(int)
+        np.clip(ix, 0, self.grid.nx - 1, out=ix)
+        np.clip(iy, 0, self.grid.ny - 1, out=iy)
+        return self.heights[iy, ix]
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def max_height(self) -> float:
+        return float(np.max(self.heights))
+
+    @property
+    def mean_height(self) -> float:
+        return float(np.mean(self.heights))
+
+    def built_fraction(self, threshold: float = 2.0) -> float:
+        """Fraction of cells whose surface rises above ``threshold`` meters.
+
+        A crude "terrain complexity" statistic: ~0 for open fields,
+        large for urban canyons.  Used in tests and scenario metadata.
+        """
+        return float(np.mean(self.heights > threshold))
+
+    def roughness(self) -> float:
+        """RMS height difference between 4-neighbour cells (meters)."""
+        h = self.heights
+        dx = np.diff(h, axis=1)
+        dy = np.diff(h, axis=0)
+        return float(np.sqrt((np.sum(dx**2) + np.sum(dy**2)) / (dx.size + dy.size)))
+
+    # -- editing (returns new Terrain; terrains are immutable) --------------------
+
+    def with_box(
+        self,
+        x0: float,
+        y0: float,
+        x1: float,
+        y1: float,
+        height: float,
+    ) -> "Terrain":
+        """Return a copy with a box-shaped obstruction stamped in.
+
+        The box's height *replaces* lower surface values inside its
+        footprint (a building on top of the ground), it never digs.
+        """
+        h = self.heights.copy()
+        gx, gy = self.grid.centers()
+        mask = (gx >= x0) & (gx < x1) & (gy >= y0) & (gy < y1)
+        h[mask] = np.maximum(h[mask], height)
+        return Terrain(self.grid, h, self.name)
+
+    def coarsened(self, factor: int) -> "Terrain":
+        """Downsample the heightmap by taking block maxima.
+
+        Block *maxima* (not means) keep obstructions conservative so
+        that a coarse simulation never sees through a building that a
+        fine one would block.
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        grid = self.grid.coarsen(factor)
+        ny, nx = grid.shape
+        h = self.heights[: ny * factor, : nx * factor]
+        blocks = h.reshape(ny, factor, nx, factor)
+        return Terrain(grid, blocks.max(axis=(1, 3)), self.name)
+
+    def free_cells(self, clearance: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Indices ``(iy, ix)`` of cells whose surface is below ``clearance``.
+
+        Useful for dropping UEs in walkable places (not on rooftops).
+        """
+        return np.where(self.heights < clearance)

@@ -1,0 +1,31 @@
+"""Flight trajectories (paper Step 6).
+
+A trajectory is a polyline in the horizontal plane at the operating
+altitude.  Four families matter:
+
+* :class:`~repro.trajectory.base.Trajectory` - the shared polyline
+  container with length/resample/truncate operations;
+* :func:`~repro.trajectory.uniform.zigzag_trajectory` - the Uniform
+  baseline's corner-to-corner lawnmower sweep;
+* :func:`~repro.trajectory.random_flight.random_flight` - the short
+  random localization flight that opens every epoch;
+* :class:`~repro.trajectory.skyran.SkyRANPlanner` - the paper's
+  gradient -> threshold -> K-means -> TSP -> information/cost pipeline.
+"""
+
+from repro.trajectory.base import Trajectory
+from repro.trajectory.uniform import zigzag_trajectory, zigzag_for_budget
+from repro.trajectory.random_flight import random_flight
+from repro.trajectory.information import TrajectoryHistory, information_gain
+from repro.trajectory.skyran import PlanResult, SkyRANPlanner
+
+__all__ = [
+    "Trajectory",
+    "zigzag_trajectory",
+    "zigzag_for_budget",
+    "random_flight",
+    "TrajectoryHistory",
+    "information_gain",
+    "PlanResult",
+    "SkyRANPlanner",
+]

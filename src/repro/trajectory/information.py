@@ -1,0 +1,100 @@
+"""Trajectory information gain (paper Step 6.4).
+
+Each UE carries the set of measurement trajectories flown for it in
+previous epochs.  The information a *candidate* trajectory offers a UE
+is "the shortest distance between the new trajectory and all the
+historical trajectories in the set assigned to the UE" — i.e. how far
+the candidate strays from everything already explored for that UE.  A
+UE with no history gets a large fixed gain ``i_max``.  The planner
+then maximizes mean-gain / length over candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.geo.paths import polyline_to_polyline_distance
+from repro.trajectory.base import Trajectory
+
+#: Default gain assigned to a UE with no trajectory history.  The
+#: paper only requires it to be "a large fixed value"; 1000 m is an
+#: order of magnitude beyond typical trajectory separations.
+DEFAULT_I_MAX = 1000.0
+
+
+def information_gain(
+    candidate: Trajectory,
+    history: Sequence[Trajectory],
+    i_max: float = DEFAULT_I_MAX,
+    spacing_m: float = 10.0,
+) -> float:
+    """Gain a candidate trajectory offers one UE.
+
+    ``min`` over historical trajectories of the polyline distance:
+    a candidate that retraces *any* previous flight is worthless, no
+    matter how far it is from the others.
+    """
+    if i_max <= 0:
+        raise ValueError(f"i_max must be positive, got {i_max}")
+    if not history:
+        return i_max
+    gain = min(
+        polyline_to_polyline_distance(candidate.waypoints, h.waypoints, spacing_m)
+        for h in history
+    )
+    return float(min(gain, i_max))
+
+
+def _pos_key(ue_xyz: np.ndarray, quantum_m: float = 1.0):
+    p = np.asarray(ue_xyz, dtype=float)
+    return (round(p[0] / quantum_m), round(p[1] / quantum_m))
+
+
+@dataclass
+class TrajectoryHistory:
+    """Per-UE-position sets of flown measurement trajectories.
+
+    Keyed by quantized UE position (like REMs, Section 3.5), so a UE
+    returning to a known spot inherits the exploration history of that
+    spot and the planner does not re-probe it from scratch.
+    """
+
+    i_max: float = DEFAULT_I_MAX
+    reuse_radius_m: float = 10.0
+    _store: Dict[tuple, List[Trajectory]] = field(default_factory=dict)
+
+    def record(self, ue_xyz: np.ndarray, trajectory: Trajectory) -> None:
+        """Log a flown trajectory against a UE position."""
+        key = _pos_key(ue_xyz)
+        self._store.setdefault(key, []).append(trajectory)
+
+    def trajectories_for(self, ue_xyz: np.ndarray) -> List[Trajectory]:
+        """History for a UE position, including nearby (within R) keys."""
+        p = np.asarray(ue_xyz, dtype=float)
+        out: List[Trajectory] = []
+        for (kx, ky), trajs in self._store.items():
+            if np.hypot(p[0] - kx, p[1] - ky) <= self.reuse_radius_m:
+                out.extend(trajs)
+        return out
+
+    def gain_for(self, candidate: Trajectory, ue_xyz: np.ndarray) -> float:
+        """Information gain of a candidate for one UE position."""
+        return information_gain(
+            candidate, self.trajectories_for(ue_xyz), self.i_max
+        )
+
+    def mean_gain(
+        self, candidate: Trajectory, ue_positions: Sequence[np.ndarray]
+    ) -> float:
+        """Average gain over the epoch's UEs (the paper's numerator)."""
+        if len(ue_positions) == 0:
+            raise ValueError("need at least one UE position")
+        return float(
+            np.mean([self.gain_for(candidate, p) for p in ue_positions])
+        )
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._store.values())

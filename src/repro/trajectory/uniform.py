@@ -1,0 +1,82 @@
+"""The Uniform baseline's zigzag (lawnmower) trajectory.
+
+Uniform "does not use UE location information and REMs, and instead
+adopts a zigzag trajectory across the test area, starting from one
+corner of the test area boundary, to measure the channel state
+uniformly" (paper Section 4.2).  The same shape, flown exhaustively at
+tight row spacing, is also how ground-truth REMs are collected
+(Fig. 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.grid import GridSpec
+from repro.trajectory.base import Trajectory
+
+
+def zigzag_trajectory(
+    grid: GridSpec,
+    row_spacing_m: float,
+    altitude: float,
+    margin_m: float = 0.0,
+    label: str = "uniform",
+    row_offset_m: float = 0.0,
+) -> Trajectory:
+    """Corner-to-corner lawnmower sweep with a fixed row spacing.
+
+    Rows run east-west, stepping north by ``row_spacing_m`` between
+    passes, starting at the south-west corner.  ``row_offset_m``
+    shifts all rows north (mod the spacing) so successive sweeps can
+    interleave rather than retrace each other.
+    """
+    if row_spacing_m <= 0:
+        raise ValueError(f"row_spacing_m must be positive, got {row_spacing_m}")
+    x0 = grid.origin_x + margin_m
+    x1 = grid.max_x - margin_m
+    y0 = grid.origin_y + margin_m
+    y1 = grid.max_y - margin_m
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError("margin leaves no sweepable area")
+    ys = np.arange(y0 + (row_offset_m % row_spacing_m), y1 + 1e-9, row_spacing_m)
+    if len(ys) == 0:
+        ys = np.array([y0])
+    if ys[-1] < y1 - 1e-9:
+        ys = np.append(ys, y1)
+    waypoints = []
+    for i, y in enumerate(ys):
+        if i % 2 == 0:
+            waypoints.append((x0, y))
+            waypoints.append((x1, y))
+        else:
+            waypoints.append((x1, y))
+            waypoints.append((x0, y))
+    return Trajectory(np.asarray(waypoints), altitude, label)
+
+
+def zigzag_for_budget(
+    grid: GridSpec,
+    budget_m: float,
+    altitude: float,
+    margin_m: float = 0.0,
+    label: str = "uniform",
+    row_offset_m: float = 0.0,
+) -> Trajectory:
+    """A zigzag whose *total* length approximately equals the budget.
+
+    Uniform spends its whole measurement budget sweeping the area at
+    the densest row spacing the budget affords: a budget of ``L``
+    over a ``W x H`` area buys roughly ``(L - H) / W`` rows.  The
+    result is then truncated to exactly the budget.
+    """
+    if budget_m <= 0:
+        raise ValueError(f"budget_m must be positive, got {budget_m}")
+    width = grid.width - 2 * margin_m
+    height = grid.height - 2 * margin_m
+    if width <= 0 or height <= 0:
+        raise ValueError("margin leaves no sweepable area")
+    n_rows = max(2, int((budget_m - height) / width) + 1)
+    spacing = height / (n_rows - 1)
+    traj = zigzag_trajectory(grid, spacing, altitude, margin_m, label, row_offset_m)
+    return traj.truncated(budget_m)

@@ -1,0 +1,17 @@
+"""Dependency-free visualization.
+
+The offline environment has no plotting stack, so this package renders
+maps and trajectories as ASCII blocks (for terminals/logs) and as
+binary PGM/PPM images (viewable anywhere, committable as artifacts).
+Used by the examples and handy when debugging REMs interactively.
+"""
+
+from repro.viz.ascii_art import ascii_heatmap, ascii_overlay
+from repro.viz.images import save_heatmap_ppm, save_pgm
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_overlay",
+    "save_heatmap_ppm",
+    "save_pgm",
+]

@@ -1,0 +1,104 @@
+"""ASCII rendering of maps and trajectories."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Shade ramp from low to high.
+SHADES = " .:-=+*#%@"
+
+
+def _downsample(field: np.ndarray, width: int) -> tuple:
+    """Block-average a field to at most ``width`` columns."""
+    ny, nx = field.shape
+    factor = max(1, int(np.ceil(nx / width)))
+    out_ny = ny // factor or 1
+    out_nx = nx // factor or 1
+    trimmed = field[: out_ny * factor, : out_nx * factor]
+    blocks = trimmed.reshape(out_ny, factor, out_nx, factor)
+    counts = np.sum(np.isfinite(blocks), axis=(1, 3))
+    sums = np.nansum(blocks, axis=(1, 3))
+    coarse = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return coarse, factor
+
+
+def ascii_heatmap(
+    field: np.ndarray,
+    width: int = 72,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    north_up: bool = True,
+) -> str:
+    """Render a 2D field as shaded ASCII.
+
+    NaN cells render as ``?``.  ``north_up`` flips the row order so
+    larger ``y`` (north) prints at the top, matching map convention.
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2D, got shape {field.shape}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    coarse, _ = _downsample(field, width)
+    finite = coarse[np.isfinite(coarse)]
+    lo = vmin if vmin is not None else (float(finite.min()) if finite.size else 0.0)
+    hi = vmax if vmax is not None else (float(finite.max()) if finite.size else 1.0)
+    span = max(hi - lo, 1e-12)
+    rows = []
+    row_iter = reversed(coarse) if north_up else coarse
+    for row in row_iter:
+        chars = []
+        for v in row:
+            if not np.isfinite(v):
+                chars.append("?")
+            else:
+                level = int(np.clip((v - lo) / span, 0.0, 1.0) * (len(SHADES) - 1))
+                chars.append(SHADES[level])
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def ascii_overlay(
+    field: np.ndarray,
+    grid,
+    polylines: Sequence,
+    width: int = 72,
+    marks: str = "ABCDEFG",
+    north_up: bool = True,
+) -> str:
+    """Heatmap with polylines (e.g. trajectories) overlaid as letters.
+
+    ``polylines`` is a sequence of ``(n, 2)`` world-coordinate arrays;
+    polyline ``i`` is drawn with ``marks[i]``.
+    """
+    field = np.asarray(field, dtype=float)
+    coarse, factor = _downsample(field, width)
+    base = ascii_heatmap(field, width=width, north_up=north_up).split("\n")
+    canvas = [list(row) for row in base]
+    out_ny = len(canvas)
+    out_nx = len(canvas[0]) if canvas else 0
+    for p_idx, poly in enumerate(polylines):
+        mark = marks[p_idx % len(marks)]
+        pts = np.asarray(poly, dtype=float).reshape(-1, 2)
+        # Resample densely enough to paint continuous strokes.
+        seg = np.diff(pts, axis=0)
+        total = float(np.sum(np.hypot(seg[:, 0], seg[:, 1]))) if len(pts) > 1 else 0.0
+        n_samples = max(len(pts), int(total / (grid.cell_size * factor)) + 1)
+        if len(pts) > 1:
+            t = np.linspace(0, 1, n_samples)
+            cum = np.concatenate([[0], np.cumsum(np.hypot(seg[:, 0], seg[:, 1]))])
+            cum = cum / max(cum[-1], 1e-12)
+            xs = np.interp(t, cum, pts[:, 0])
+            ys = np.interp(t, cum, pts[:, 1])
+        else:
+            xs, ys = pts[:, 0], pts[:, 1]
+        for x, y in zip(xs, ys):
+            ix, iy = grid.cell_of(x, y)
+            cx, cy = ix // factor, iy // factor
+            if north_up:
+                cy = out_ny - 1 - cy
+            if 0 <= cy < out_ny and 0 <= cx < out_nx:
+                canvas[cy][cx] = mark
+    return "\n".join("".join(row) for row in canvas)

@@ -1,0 +1,74 @@
+"""Binary PGM/PPM image export (no plotting stack required).
+
+PGM (grayscale) and PPM (color) are the simplest raster formats there
+are; every image viewer opens them.  ``save_heatmap_ppm`` maps a field
+through a blue->yellow->red ramp, which is enough to eyeball REMs,
+gradient maps and throughput maps produced by the experiments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+
+def _normalize(field: np.ndarray, vmin: Optional[float], vmax: Optional[float]) -> np.ndarray:
+    field = np.asarray(field, dtype=float)
+    finite = field[np.isfinite(field)]
+    lo = vmin if vmin is not None else (float(finite.min()) if finite.size else 0.0)
+    hi = vmax if vmax is not None else (float(finite.max()) if finite.size else 1.0)
+    span = max(hi - lo, 1e-12)
+    out = np.clip((field - lo) / span, 0.0, 1.0)
+    out[~np.isfinite(field)] = 0.0
+    return out
+
+
+def save_pgm(
+    path: "str | Path",
+    field: np.ndarray,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    north_up: bool = True,
+) -> None:
+    """Write a 2D field as an 8-bit binary PGM (grayscale) image."""
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2D, got shape {field.shape}")
+    norm = _normalize(field, vmin, vmax)
+    if north_up:
+        norm = norm[::-1]
+    pixels = (norm * 255).astype(np.uint8)
+    ny, nx = pixels.shape
+    header = f"P5\n{nx} {ny}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + pixels.tobytes())
+
+
+def _colormap(norm: np.ndarray) -> np.ndarray:
+    """Blue -> cyan -> yellow -> red ramp, ``(..., 3)`` uint8."""
+    r = np.clip(2.0 * norm - 0.5, 0.0, 1.0)
+    g = np.clip(1.5 - np.abs(2.0 * norm - 1.0) * 1.5, 0.0, 1.0)
+    b = np.clip(1.0 - 2.0 * norm, 0.0, 1.0)
+    rgb = np.stack([r, g, b], axis=-1)
+    return (rgb * 255).astype(np.uint8)
+
+
+def save_heatmap_ppm(
+    path: "str | Path",
+    field: np.ndarray,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    north_up: bool = True,
+) -> None:
+    """Write a 2D field as an 8-bit binary PPM (color heatmap)."""
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2D, got shape {field.shape}")
+    norm = _normalize(field, vmin, vmax)
+    if north_up:
+        norm = norm[::-1]
+    pixels = _colormap(norm)
+    ny, nx = pixels.shape[:2]
+    header = f"P6\n{nx} {ny}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + pixels.tobytes())

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+The scenario fixtures are deliberately small (coarse grids, few UEs)
+so the whole suite runs in well under a minute; the benchmarks — not
+the tests — exercise paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.model import ChannelModel
+from repro.geo.grid import GridSpec
+from repro.sim.scenario import Scenario
+from repro.terrain.generators import make_campus, make_flat
+from repro.terrain.heightmap import Terrain
+
+
+@pytest.fixture(scope="session")
+def flat_terrain() -> Terrain:
+    """A 100 m x 100 m flat world at 2 m pitch."""
+    return make_flat(size=100.0, cell_size=2.0)
+
+
+@pytest.fixture(scope="session")
+def box_terrain() -> Terrain:
+    """Flat world with one 20 m building in the middle."""
+    t = make_flat(size=100.0, cell_size=2.0, name="box")
+    return t.with_box(40.0, 40.0, 60.0, 60.0, 20.0)
+
+
+@pytest.fixture(scope="session")
+def campus_terrain() -> Terrain:
+    """The paper's campus at coarse pitch."""
+    return make_campus(cell_size=4.0)
+
+
+@pytest.fixture()
+def flat_channel(flat_terrain) -> ChannelModel:
+    """Channel over flat ground with shadowing/fading disabled.
+
+    Deterministic: path loss is pure FSPL, which tests can verify in
+    closed form.
+    """
+    return ChannelModel(
+        flat_terrain, shadowing_sigma_db=0.0, common_sigma_db=0.0
+    )
+
+
+@pytest.fixture()
+def box_channel(box_terrain) -> ChannelModel:
+    """Deterministic channel over the one-building world."""
+    return ChannelModel(box_terrain, shadowing_sigma_db=0.0, common_sigma_db=0.0)
+
+
+@pytest.fixture()
+def small_scenario() -> Scenario:
+    """A tiny 3-UE campus scenario for integration tests."""
+    return Scenario.create("campus", n_ues=3, cell_size=4.0, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_grid() -> GridSpec:
+    return GridSpec.from_extent(100.0, 100.0, cell_size=2.0)

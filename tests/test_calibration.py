@@ -1,0 +1,81 @@
+"""Tests for cross-epoch offset calibration."""
+
+import numpy as np
+import pytest
+
+from repro.localization.calibration import OffsetCalibrator
+from repro.localization.joint import solve_joint_multilateration
+from repro.localization.ranging import GpsRange
+
+
+def _obs(ue, radius, n, alt, offset, noise, rng):
+    angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    anchors = np.column_stack(
+        [
+            ue[0] + radius * np.cos(angles),
+            ue[1] + radius * np.sin(angles),
+            np.full(n, alt),
+        ]
+    )
+    d = np.linalg.norm(anchors - ue, axis=1)
+    r = d + offset + rng.normal(0, noise, n)
+    return [GpsRange(a, float(ri), float(i)) for i, (a, ri) in enumerate(zip(anchors, r))]
+
+
+class TestCalibrator:
+    def test_empty_has_no_prior(self):
+        assert OffsetCalibrator().prior() is None
+
+    def test_median_of_updates(self):
+        cal = OffsetCalibrator()
+        for v in (140.0, 130.0, 137.0):
+            cal.update(v)
+        prior = cal.prior()
+        assert prior[0] == pytest.approx(137.0)
+        assert prior[1] == pytest.approx(600.0)
+
+    def test_weight_capped(self):
+        cal = OffsetCalibrator(weight_per_epoch=400.0, max_weight=1000.0)
+        for _ in range(10):
+            cal.update(137.0)
+        assert cal.prior()[1] == 1000.0
+
+    def test_history_bounded(self):
+        cal = OffsetCalibrator(max_history=3)
+        for v in (1.0, 2.0, 3.0, 100.0):
+            cal.update(v)
+        assert cal.n_epochs == 3
+        assert cal.prior()[0] == pytest.approx(3.0)
+
+    def test_robust_to_one_bad_epoch(self):
+        cal = OffsetCalibrator()
+        for v in (137.0, 136.5, 137.5, 190.0):
+            cal.update(v)
+        assert abs(cal.prior()[0] - 137.0) < 1.0
+
+
+class TestPriorInSolve:
+    def test_prior_pins_degenerate_offset(self, rng):
+        # A tiny-aperture flight cannot separate range from offset; a
+        # calibrated prior must rescue the solve.
+        ue = np.array([40.0, 0.0, 1.5])
+        obs = {1: _obs(ue, 6.0, 40, 50.0, 137.0, 1.0, rng)}
+        blind = solve_joint_multilateration(obs)
+        primed = solve_joint_multilateration(obs, offset_prior=(137.0, 500.0))
+        err_blind = np.hypot(blind.per_ue[1].position[0] - 40.0, blind.per_ue[1].position[1])
+        err_primed = np.hypot(primed.per_ue[1].position[0] - 40.0, primed.per_ue[1].position[1])
+        assert err_primed < err_blind + 1.0
+        assert primed.offset_m == pytest.approx(137.0, abs=2.0)
+
+    def test_zero_weight_prior_is_noop(self, rng):
+        ue = np.array([20.0, 10.0, 1.5])
+        obs = {1: _obs(ue, 80.0, 50, 50.0, 137.0, 0.5, rng)}
+        a = solve_joint_multilateration(obs)
+        b = solve_joint_multilateration(obs, offset_prior=(500.0, 0.0))
+        assert a.offset_m == pytest.approx(b.offset_m, abs=1e-6)
+
+    def test_negative_weight_rejected(self, rng):
+        ue = np.array([20.0, 10.0, 1.5])
+        obs = {1: _obs(ue, 80.0, 10, 50.0, 137.0, 0.5, rng)}
+        with pytest.raises(ValueError):
+            solve_joint_multilateration(obs, offset_prior=(137.0, -1.0))

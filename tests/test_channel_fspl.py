@@ -1,0 +1,67 @@
+"""Unit tests for free-space path loss."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fspl import (
+    DEFAULT_FREQ_HZ,
+    MIN_DISTANCE_M,
+    SPEED_OF_LIGHT,
+    fspl_db,
+    fspl_map,
+)
+from repro.geo.grid import GridSpec
+
+
+class TestFsplDb:
+    def test_known_value(self):
+        # FSPL at 1 km, 2.6 GHz: 20 log10(4 pi 1000 f / c) ~ 100.75 dB.
+        expected = 20 * np.log10(4 * np.pi * 1000.0 * 2.6e9 / SPEED_OF_LIGHT)
+        assert fspl_db(1000.0, 2.6e9) == pytest.approx(expected)
+
+    def test_six_db_per_distance_doubling(self):
+        assert fspl_db(200.0) - fspl_db(100.0) == pytest.approx(20 * np.log10(2))
+
+    def test_frequency_scaling(self):
+        assert fspl_db(100.0, 5.2e9) - fspl_db(100.0, 2.6e9) == pytest.approx(
+            20 * np.log10(2)
+        )
+
+    def test_clamps_tiny_distance(self):
+        assert fspl_db(0.0) == fspl_db(MIN_DISTANCE_M)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(fspl_db(10.0), float)
+
+    def test_array_input(self):
+        d = np.array([10.0, 100.0, 1000.0])
+        out = fspl_db(d)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_rejects_bad_freq(self):
+        with pytest.raises(ValueError):
+            fspl_db(10.0, 0.0)
+
+
+class TestFsplMap:
+    def test_minimum_above_ue(self):
+        g = GridSpec.from_extent(100, 100, 2.0)
+        ue = np.array([50.0, 50.0, 1.5])
+        m = fspl_map(g, ue, altitude=60.0)
+        iy, ix = np.unravel_index(np.argmin(m), m.shape)
+        x, y = g.center_of(ix, iy)
+        assert abs(x - 50.0) <= 2.0 and abs(y - 50.0) <= 2.0
+
+    def test_map_shape(self):
+        g = GridSpec.from_extent(100, 80, 2.0)
+        m = fspl_map(g, np.array([0.0, 0.0, 0.0]), altitude=50.0)
+        assert m.shape == g.shape
+
+    def test_map_matches_pointwise(self):
+        g = GridSpec.from_extent(40, 40, 4.0)
+        ue = np.array([10.0, 10.0, 1.5])
+        m = fspl_map(g, ue, altitude=30.0, freq_hz=DEFAULT_FREQ_HZ)
+        x, y = g.center_of(3, 7)
+        d = np.sqrt((x - 10) ** 2 + (y - 10) ** 2 + (30 - 1.5) ** 2)
+        assert m[7, 3] == pytest.approx(fspl_db(d))

@@ -1,0 +1,81 @@
+"""Unit tests for shadowing fields and small-scale fading."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    K_LOS,
+    K_NLOS,
+    rician_envelope_power,
+    sample_fading_db,
+)
+from repro.channel.shadowing import ShadowingField
+from repro.geo.grid import GridSpec
+
+
+class TestShadowing:
+    def test_marginal_std_matches(self, small_grid):
+        f = ShadowingField.generate(small_grid, sigma_db=4.0, correlation_m=10.0, seed=0)
+        assert f.values_db.std() == pytest.approx(4.0, rel=0.05)
+
+    def test_zero_sigma_is_flat(self, small_grid):
+        f = ShadowingField.generate(small_grid, sigma_db=0.0, seed=0)
+        assert np.all(f.values_db == 0.0)
+
+    def test_spatial_correlation(self, small_grid):
+        f = ShadowingField.generate(small_grid, sigma_db=3.0, correlation_m=30.0, seed=1)
+        v = f.values_db
+        # Neighbouring cells nearly identical; far cells decorrelated.
+        d_near = np.abs(np.diff(v, axis=1)).mean()
+        assert d_near < 1.0
+
+    def test_same_ue_same_field(self, small_grid):
+        ue = np.array([10.0, 20.0, 1.5])
+        a = ShadowingField.generate(small_grid, seed=5, ue_xyz=ue)
+        b = ShadowingField.generate(small_grid, seed=5, ue_xyz=ue)
+        np.testing.assert_array_equal(a.values_db, b.values_db)
+
+    def test_different_ues_different_fields(self, small_grid):
+        a = ShadowingField.generate(small_grid, seed=5, ue_xyz=np.array([10.0, 20.0, 1.5]))
+        b = ShadowingField.generate(small_grid, seed=5, ue_xyz=np.array([11.0, 20.0, 1.5]))
+        assert not np.allclose(a.values_db, b.values_db)
+
+    def test_lookup_consistency(self, small_grid):
+        f = ShadowingField.generate(small_grid, seed=2)
+        pts = np.array([[5.0, 7.0], [50.0, 50.0]])
+        many = f.at_many(pts)
+        assert many[0] == pytest.approx(f.at(5.0, 7.0))
+        assert many[1] == pytest.approx(f.at(50.0, 50.0))
+
+    def test_invalid_params(self, small_grid):
+        with pytest.raises(ValueError):
+            ShadowingField.generate(small_grid, sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            ShadowingField.generate(small_grid, correlation_m=0.0)
+
+
+class TestFading:
+    def test_envelope_mean_power_is_unity(self, rng):
+        for k in (0.0, 1.0, 10.0):
+            p = rician_envelope_power(k, 200_000, rng)
+            assert p.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_high_k_low_variance(self, rng):
+        p_los = rician_envelope_power(K_LOS, 50_000, rng)
+        p_nlos = rician_envelope_power(K_NLOS, 50_000, rng)
+        assert p_los.std() < p_nlos.std()
+
+    def test_negative_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rician_envelope_power(-1.0, 10, rng)
+
+    def test_sample_fading_mixture(self, rng):
+        los = np.array([True] * 5000 + [False] * 5000)
+        fading = sample_fading_db(los, rng)
+        assert fading.shape == (10000,)
+        # NLOS fading swings much harder.
+        assert fading[~los].std() > 1.5 * fading[los].std()
+
+    def test_sample_fading_all_los(self, rng):
+        fading = sample_fading_db(np.ones(100, dtype=bool), rng)
+        assert np.all(np.isfinite(fading))

@@ -1,0 +1,89 @@
+"""Smoke tests for the per-figure experiment modules and the CLI.
+
+Heavy experiments run in the benchmark suite; here we execute the
+light ones end to end and check the result contract (``rows`` +
+``paper``) that the bench harness and EXPERIMENTS.md generator rely
+on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments import (
+    fig01_motivation,
+    fig03_centroid_vs_optimal,
+    fig07_pathloss_variation,
+    fig08_altitude,
+    fig12_epoch_length,
+)
+from repro.__main__ import main as cli_main
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        expected = {
+            "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "fig12", "fig14", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "fig23", "fig24", "fig26", "fig27", "fig28",
+            "fig29", "fig30", "fig31", "headline",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_ablations_registered(self):
+        assert {k for k in REGISTRY if k.startswith("ablation-")} == {
+            "ablation-upsampling",
+            "ablation-interpolation",
+            "ablation-gradient-threshold",
+            "ablation-reuse-radius",
+            "ablation-k-window",
+        }
+
+
+class TestLightExperiments:
+    def test_fig01_contract(self):
+        result = fig01_motivation.run(quick=True)
+        assert "rows" in result and "paper" in result
+        assert result["avg_map"].ndim == 2
+        assert np.all(np.diff(result["cdf_values"]) >= 0)
+
+    def test_fig03_contract(self):
+        result = fig03_centroid_vs_optimal.run(quick=True, seeds=(0, 1))
+        assert 0.0 <= result["mean_ratio"] <= 1.5
+        assert result["rows"][-1]["seed"] == "mean"
+
+    def test_fig07_swing(self):
+        result = fig07_pathloss_variation.run(quick=True)
+        row = result["rows"][0]
+        assert row["max_pl_db"] > row["min_pl_db"]
+        assert len(result["arc_m"]) == len(result["path_loss_db"])
+
+    def test_fig08_interior_minimum(self):
+        result = fig08_altitude.run(quick=True)
+        row = result["rows"][0]
+        assert row["loss_at_best_db"] <= row["loss_at_120m_db"]
+        assert row["loss_at_best_db"] <= row["loss_at_10m_db"]
+
+    def test_fig12_decay(self):
+        result = fig12_epoch_length.run(
+            quick=True, fractions=(0.5,), duration_min=20.0, step_min=10.0
+        )
+        row = result["rows"][0]
+        assert row["epoch_at_10pct_min"] >= 0.0
+        times, rel = result["curves"][0.5]
+        assert rel[0] == pytest.approx(1.0)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig20" in out and "headline" in out
+
+    def test_run_known(self, capsys):
+        assert cli_main(["run", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "swing_db" in out
+
+    def test_run_unknown(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2

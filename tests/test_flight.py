@@ -1,0 +1,123 @@
+"""Unit tests for UAV kinematics, GPS, battery and samplers."""
+
+import numpy as np
+import pytest
+
+from repro.channel.model import ChannelModel
+from repro.flight.sampler import (
+    collect_gps_ranges,
+    collect_snr_samples,
+    localize_all_ues,
+)
+from repro.flight.uav import UAV, Battery, GPS_RATE_HZ
+from repro.lte.enodeb import ENodeB
+from repro.lte.tof import ToFEstimator
+from repro.lte.ue import UE
+from repro.trajectory.base import Trajectory
+
+
+class TestBattery:
+    def test_hover_drain(self):
+        b = Battery(capacity_wh=600.0, hover_power_w=1500.0)
+        b.drain_hover(600.0)
+        assert b.remaining_wh == pytest.approx(600.0 - 250.0)
+        b.drain_hover(3600.0)
+        assert b.remaining_wh == 0.0  # clamped at empty
+
+    def test_forward_costs_more(self):
+        a = Battery()
+        b = Battery()
+        a.drain_hover(600.0)
+        b.drain_forward(600.0)
+        assert b.used_wh > a.used_wh
+
+    def test_endurance(self):
+        b = Battery(capacity_wh=300.0, hover_power_w=1500.0)
+        assert b.endurance_hover_s() == pytest.approx(720.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().drain_hover(-1.0)
+
+
+class TestUAV:
+    def test_fly_reaches_endpoint(self, rng):
+        uav = UAV(position=np.array([0.0, 0.0, 50.0]))
+        traj = Trajectory(np.array([[100.0, 0.0]]), altitude=50.0)
+        log = uav.fly(traj, rng)
+        np.testing.assert_allclose(uav.position, [100.0, 0.0, 50.0])
+        assert log.distance_m == pytest.approx(100.0)
+
+    def test_fix_rate(self, rng):
+        uav = UAV(position=np.array([0.0, 0.0, 50.0]), speed_mps=10.0)
+        traj = Trajectory(np.array([[100.0, 0.0]]), altitude=50.0)
+        log = uav.fly(traj, rng)
+        assert len(log) == pytest.approx(10.0 * GPS_RATE_HZ, rel=0.05)
+
+    def test_clock_and_battery_advance(self, rng):
+        uav = UAV(position=np.array([0.0, 0.0, 50.0]), speed_mps=10.0)
+        uav.fly(Trajectory(np.array([[100.0, 0.0]]), 50.0), rng)
+        assert uav.clock_s == pytest.approx(10.0)
+        assert uav.battery.used_wh > 0
+        uav.hover(60.0)
+        assert uav.clock_s == pytest.approx(70.0)
+
+    def test_gps_noise_correlated(self, rng):
+        uav = UAV(position=np.array([0.0, 0.0, 50.0]), gps_noise_std_m=2.0)
+        log = uav.fly(Trajectory(np.array([[50.0, 0.0]]), 50.0), rng)
+        err = log.gps_xyz - log.true_xyz
+        # Successive fix errors nearly identical (OU, tau >> flight).
+        step = np.abs(np.diff(err[:, 0]))
+        assert np.median(step) < 0.1
+        # But the offset itself is metre-scale.
+        assert np.abs(err[:, 0]).max() > 0.1
+
+    def test_goto(self, rng):
+        uav = UAV(position=np.array([0.0, 0.0, 50.0]))
+        log = uav.goto(np.array([30.0, 40.0, 50.0]), rng)
+        assert log.distance_m == pytest.approx(50.0)
+
+    def test_validates_speed(self):
+        with pytest.raises(ValueError):
+            UAV(speed_mps=0.0)
+
+
+class TestSamplers:
+    @pytest.fixture()
+    def setup(self, flat_terrain, rng):
+        channel = ChannelModel(flat_terrain, shadowing_sigma_db=0.0, common_sigma_db=0.0)
+        enodeb = ENodeB()
+        ue = UE(ue_id=1)
+        ue.move_to(50.0, 50.0)
+        enodeb.register_ue(ue)
+        uav = UAV(position=np.array([20.0, 20.0, 50.0]), speed_mps=3.0)
+        log = uav.fly(Trajectory(np.array([[20.0, 40.0], [40.0, 40.0]]), 50.0), rng)
+        return channel, enodeb, ue, log
+
+    def test_snr_samples_near_truth(self, setup, rng):
+        channel, enodeb, ue, log = setup
+        xy, snr = collect_snr_samples(log, ue, channel, rng)
+        assert len(xy) == len(snr)
+        mid_true = channel.snr_db(log.true_xyz[len(log) // 2], ue.xyz)
+        assert abs(np.median(snr) - mid_true) < 5.0
+
+    def test_gps_ranges_offset_visible(self, setup, rng):
+        channel, enodeb, ue, log = setup
+        est = ToFEstimator(enodeb.srs_config, 4)
+        obs = collect_gps_ranges(log, ue, channel, enodeb, est, rng, processing_offset_m=137.0)
+        assert len(obs) > 10
+        d_true = np.array([np.linalg.norm(o.gps_xyz - ue.xyz) for o in obs])
+        meas = np.array([o.range_m for o in obs])
+        assert np.median(meas - d_true) == pytest.approx(137.0, abs=5.0)
+
+    def test_localize_all_ues_accuracy(self, setup, rng):
+        channel, enodeb, ue, log = setup
+        est = ToFEstimator(enodeb.srs_config, 4)
+        result = localize_all_ues(
+            log, [ue], channel, enodeb, est, rng,
+            bounds_xy=((0.0, 100.0), (0.0, 100.0)),
+        )
+        err = np.hypot(
+            result.per_ue[1].position[0] - 50.0, result.per_ue[1].position[1] - 50.0
+        )
+        assert err < 15.0

@@ -1,0 +1,73 @@
+"""Unit tests for the K-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.kmeans import kmeans
+
+
+def _blobs(rng, centers, n_per=50, spread=0.5):
+    pts = []
+    for c in centers:
+        pts.append(rng.normal(c, spread, (n_per, len(c))))
+    return np.vstack(pts)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        truth = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)]
+        pts = _blobs(rng, truth)
+        result = kmeans(pts, 3, seed=0)
+        # Each true center should have a recovered center nearby.
+        for c in truth:
+            d = np.min(np.hypot(*(result.centers - np.array(c)).T))
+            assert d < 2.0
+
+    def test_labels_match_nearest_center(self, rng):
+        pts = rng.uniform(0, 10, (60, 2))
+        result = kmeans(pts, 4, seed=1)
+        d = np.hypot(
+            pts[:, 0][:, None] - result.centers[:, 0][None, :],
+            pts[:, 1][:, None] - result.centers[:, 1][None, :],
+        )
+        np.testing.assert_array_equal(result.labels, np.argmin(d, axis=1))
+
+    def test_k_equals_n(self, rng):
+        pts = rng.uniform(0, 10, (5, 2))
+        result = kmeans(pts, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one_gives_mean(self, rng):
+        pts = rng.uniform(0, 10, (40, 2))
+        result = kmeans(pts, 1, seed=0)
+        np.testing.assert_allclose(result.centers[0], pts.mean(axis=0), atol=1e-8)
+
+    def test_deterministic_given_seed(self, rng):
+        pts = rng.uniform(0, 10, (50, 2))
+        a = kmeans(pts, 3, seed=42)
+        b = kmeans(pts, 3, seed=42)
+        np.testing.assert_allclose(a.centers, b.centers)
+
+    def test_weights_pull_centroids(self, rng):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]] * 10)
+        w = np.array([10.0, 0.1] * 10)
+        result = kmeans(pts, 1, seed=0, weights=w)
+        # Heavy points at x=0 dominate.
+        assert result.centers[0, 0] < 1.0
+
+    def test_invalid_k(self, rng):
+        pts = rng.uniform(0, 1, (5, 2))
+        with pytest.raises(ValueError):
+            kmeans(pts, 0)
+        with pytest.raises(ValueError):
+            kmeans(pts, 6)
+
+    def test_negative_weights_rejected(self, rng):
+        pts = rng.uniform(0, 1, (5, 2))
+        with pytest.raises(ValueError):
+            kmeans(pts, 2, weights=np.array([1, 1, 1, 1, -1.0]))
+
+    def test_duplicate_points_handled(self):
+        pts = np.zeros((20, 2))
+        result = kmeans(pts, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)

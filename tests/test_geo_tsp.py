@@ -1,0 +1,72 @@
+"""Unit tests for the TSP heuristics."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.geo.tsp import solve_tsp, tour_length
+
+
+def _brute_force_open(points):
+    n = len(points)
+    best, best_len = None, np.inf
+    for perm in itertools.permutations(range(n)):
+        length = tour_length(points, perm)
+        if length < best_len:
+            best, best_len = list(perm), length
+    return best, best_len
+
+
+class TestTourLength:
+    def test_simple_path(self):
+        pts = np.array([[0, 0], [3, 0], [3, 4]], dtype=float)
+        assert tour_length(pts, [0, 1, 2]) == pytest.approx(7.0)
+
+    def test_closed_tour_adds_return_leg(self):
+        pts = np.array([[0, 0], [3, 0], [3, 4]], dtype=float)
+        assert tour_length(pts, [0, 1, 2], closed=True) == pytest.approx(12.0)
+
+    def test_short_tours(self):
+        pts = np.array([[0, 0]], dtype=float)
+        assert tour_length(pts, [0]) == 0.0
+
+
+class TestSolve:
+    def test_returns_permutation(self, rng):
+        pts = rng.uniform(0, 100, (12, 2))
+        order = solve_tsp(pts)
+        assert sorted(order) == list(range(12))
+
+    def test_matches_brute_force_small(self, rng):
+        pts = rng.uniform(0, 100, (7, 2))
+        order = solve_tsp(pts)
+        _, best_len = _brute_force_open(pts)
+        assert tour_length(pts, order) <= best_len * 1.05
+
+    def test_collinear_points_ordered(self):
+        pts = np.array([[float(x), 0.0] for x in [5, 1, 9, 3, 7]])
+        order = solve_tsp(pts)
+        xs = pts[order, 0]
+        assert np.all(np.diff(xs) > 0) or np.all(np.diff(xs) < 0)
+
+    def test_start_respected(self, rng):
+        pts = rng.uniform(0, 100, (8, 2))
+        order = solve_tsp(pts, start=3)
+        assert order[0] == 3
+
+    def test_start_out_of_range(self, rng):
+        pts = rng.uniform(0, 1, (4, 2))
+        with pytest.raises(ValueError):
+            solve_tsp(pts, start=4)
+
+    def test_trivial_sizes(self):
+        assert solve_tsp(np.empty((0, 2))) == []
+        assert solve_tsp(np.array([[1.0, 2.0]])) == [0]
+        assert sorted(solve_tsp(np.array([[0.0, 0.0], [1.0, 1.0]]))) == [0, 1]
+
+    def test_two_opt_improves_or_matches_greedy(self, rng):
+        pts = rng.uniform(0, 100, (15, 2))
+        greedy = solve_tsp(pts, start=0, two_opt=False)
+        refined = solve_tsp(pts, start=0, two_opt=True)
+        assert tour_length(pts, refined) <= tour_length(pts, greedy) + 1e-9

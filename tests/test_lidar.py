@@ -1,0 +1,83 @@
+"""Unit tests for the synthetic LiDAR pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.terrain.lidar import (
+    PointCloud,
+    rasterize_point_cloud,
+    synthesize_point_cloud,
+)
+
+
+class TestPointCloud:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((10, 2)))
+
+    def test_len(self):
+        pc = PointCloud(np.zeros((7, 3)))
+        assert len(pc) == 7
+
+
+class TestSynthesize:
+    def test_density_controls_count(self, flat_terrain, rng):
+        lo = synthesize_point_cloud(flat_terrain, density=1.0, seed=0)
+        hi = synthesize_point_cloud(flat_terrain, density=4.0, seed=0)
+        assert len(hi) > 2 * len(lo)
+
+    def test_dropout_reduces_returns(self, flat_terrain):
+        full = synthesize_point_cloud(flat_terrain, density=2.0, dropout=0.0, seed=0)
+        holey = synthesize_point_cloud(flat_terrain, density=2.0, dropout=0.5, seed=0)
+        assert len(holey) < 0.7 * len(full)
+
+    def test_rejects_bad_density(self, flat_terrain):
+        with pytest.raises(ValueError):
+            synthesize_point_cloud(flat_terrain, density=0.0)
+
+    def test_returns_track_surface(self, box_terrain):
+        pc = synthesize_point_cloud(box_terrain, density=4.0, noise_std=0.05, seed=1)
+        inside = (
+            (pc.points[:, 0] > 45)
+            & (pc.points[:, 0] < 55)
+            & (pc.points[:, 1] > 45)
+            & (pc.points[:, 1] < 55)
+        )
+        assert np.median(pc.points[inside, 2]) == pytest.approx(20.0, abs=0.5)
+
+
+class TestRasterize:
+    def test_roundtrip_recovers_surface(self, box_terrain):
+        pc = synthesize_point_cloud(box_terrain, density=6.0, noise_std=0.1, seed=2)
+        recon = rasterize_point_cloud(pc, box_terrain.grid)
+        err = np.abs(recon.heights - box_terrain.heights)
+        # Most cells within half a metre; building edges may smear.
+        assert np.median(err) < 0.5
+        assert recon.height_at(50, 50) == pytest.approx(20.0, abs=1.0)
+
+    def test_empty_cloud_fills_value(self, small_grid):
+        recon = rasterize_point_cloud(PointCloud(np.empty((0, 3))), small_grid, fill_value=0.0)
+        assert np.all(recon.heights == 0.0)
+
+    def test_holes_filled_from_neighbours(self, small_grid):
+        # Returns only in the west half; the east half must be filled.
+        pts = np.column_stack(
+            [
+                np.random.default_rng(0).uniform(0, 50, 500),
+                np.random.default_rng(1).uniform(0, 100, 500),
+                np.full(500, 5.0),
+            ]
+        )
+        recon = rasterize_point_cloud(PointCloud(pts), small_grid)
+        assert np.all(np.isfinite(recon.heights))
+        assert recon.height_at(90, 50) == pytest.approx(5.0, abs=0.5)
+
+    def test_invalid_percentile(self, small_grid):
+        with pytest.raises(ValueError):
+            rasterize_point_cloud(PointCloud(np.zeros((1, 3))), small_grid, percentile=0.0)
+
+    def test_never_below_datum(self, flat_terrain):
+        pc = synthesize_point_cloud(flat_terrain, density=3.0, noise_std=0.5, seed=3)
+        recon = rasterize_point_cloud(pc, flat_terrain.grid)
+        assert recon.heights.min() >= 0.0

@@ -1,0 +1,69 @@
+"""Tests for outer-loop link adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.lte.linkadapt import OuterLoopLinkAdaptation, simulate_link
+
+
+class TestOLLA:
+    def test_offset_starts_at_zero(self):
+        olla = OuterLoopLinkAdaptation()
+        assert olla.offset_db(1) == 0.0
+        assert olla.realized_bler(1) is None
+
+    def test_nack_drops_offset(self):
+        olla = OuterLoopLinkAdaptation(step_db=0.5)
+        olla.report(1, ack=False)
+        assert olla.offset_db(1) == pytest.approx(-0.5)
+
+    def test_ack_step_sets_equilibrium(self):
+        olla = OuterLoopLinkAdaptation(target_bler=0.1, step_db=0.9)
+        up = olla.report(1, ack=True)
+        assert up == pytest.approx(0.9 * 0.1 / 0.9)
+
+    def test_offset_clamped(self):
+        olla = OuterLoopLinkAdaptation(step_db=5.0, min_offset_db=-10.0)
+        for _ in range(10):
+            olla.report(1, ack=False)
+        assert olla.offset_db(1) == -10.0
+
+    def test_per_ue_independence(self):
+        olla = OuterLoopLinkAdaptation()
+        olla.report(1, ack=False)
+        assert olla.offset_db(2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OuterLoopLinkAdaptation(target_bler=0.0)
+        with pytest.raises(ValueError):
+            OuterLoopLinkAdaptation(step_db=0.0)
+
+
+class TestSimulatedLink:
+    def test_bler_converges_to_target(self, rng):
+        olla = OuterLoopLinkAdaptation(target_bler=0.1)
+        stats = simulate_link(olla, 1, mean_snr_db=15.0, n_tti=8000, rng=rng)
+        assert stats["bler"] == pytest.approx(0.1, abs=0.05)
+
+    def test_optimistic_channel_learns_negative_offset(self, rng):
+        # Heavy fading makes raw CQI optimistic: the loop must back off.
+        olla = OuterLoopLinkAdaptation(target_bler=0.1)
+        stats = simulate_link(
+            olla, 1, mean_snr_db=15.0, n_tti=5000, rng=rng, fading_std_db=6.0
+        )
+        assert stats["final_offset_db"] < 0.0
+
+    def test_goodput_positive_at_good_snr(self, rng):
+        olla = OuterLoopLinkAdaptation()
+        stats = simulate_link(olla, 1, mean_snr_db=20.0, n_tti=2000, rng=rng)
+        assert stats["mean_goodput_mbps"] > 5.0
+
+    def test_dead_link_schedules_nothing(self, rng):
+        olla = OuterLoopLinkAdaptation()
+        stats = simulate_link(olla, 1, mean_snr_db=-20.0, n_tti=500, rng=rng)
+        assert stats["mean_goodput_mbps"] == 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_link(OuterLoopLinkAdaptation(), 1, 10.0, 0, rng)

@@ -1,0 +1,80 @@
+"""Unit tests for the SNR -> CQI -> throughput mapping."""
+
+import numpy as np
+import pytest
+
+from repro.lte.throughput import (
+    CQI_TABLE,
+    DEFAULT_OVERHEAD,
+    PRB_BANDWIDTH_HZ,
+    PRB_PER_10MHZ,
+    cqi_from_snr,
+    spectral_efficiency,
+    throughput_mbps,
+)
+
+
+class TestCqi:
+    def test_out_of_range_is_zero(self):
+        assert cqi_from_snr(-10.0) == 0
+
+    def test_top_cqi(self):
+        assert cqi_from_snr(30.0) == 15
+
+    def test_thresholds_are_inclusive_edges(self):
+        # Just above the CQI-1 threshold.
+        assert cqi_from_snr(-6.69) == 1
+        assert cqi_from_snr(-6.71) == 0
+
+    def test_monotone(self):
+        snrs = np.linspace(-10, 30, 200)
+        cqis = cqi_from_snr(snrs)
+        assert np.all(np.diff(cqis) >= 0)
+
+    def test_array_shape(self):
+        out = cqi_from_snr(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+
+class TestEfficiency:
+    def test_zero_below_cqi1(self):
+        assert spectral_efficiency(-20.0) == 0.0
+
+    def test_peak_efficiency(self):
+        assert spectral_efficiency(40.0) == pytest.approx(5.5547)
+
+    def test_matches_table(self):
+        for thresh, _, eff in CQI_TABLE:
+            assert spectral_efficiency(thresh + 0.01) == pytest.approx(eff)
+
+    def test_monotone(self):
+        snrs = np.linspace(-10, 30, 500)
+        eff = spectral_efficiency(snrs)
+        assert np.all(np.diff(eff) >= 0)
+
+
+class TestThroughput:
+    def test_peak_10mhz(self):
+        peak = throughput_mbps(40.0)
+        expected = 5.5547 * PRB_PER_10MHZ * PRB_BANDWIDTH_HZ * (1 - DEFAULT_OVERHEAD) / 1e6
+        assert peak == pytest.approx(expected)
+        assert 30.0 < peak < 45.0  # the paper's ~30 Mb/s scale
+
+    def test_outage_is_zero(self):
+        assert throughput_mbps(-15.0) == 0.0
+
+    def test_scales_with_prb(self):
+        assert throughput_mbps(20.0, n_prb=25) == pytest.approx(
+            throughput_mbps(20.0, n_prb=50) / 2
+        )
+
+    def test_overhead_bounds(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(10.0, overhead=1.0)
+        with pytest.raises(ValueError):
+            throughput_mbps(10.0, n_prb=0)
+
+    def test_array_input(self):
+        out = throughput_mbps(np.array([-20.0, 10.0, 30.0]))
+        assert out[0] == 0.0
+        assert out[2] > out[1] > 0.0

@@ -1,0 +1,145 @@
+"""Unit tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.lte.ue import UE
+from repro.mobility.models import (
+    ClusterMobility,
+    RandomWaypoint,
+    ScriptedRoute,
+    Static,
+    relocate_fraction,
+)
+
+
+@pytest.fixture()
+def grid():
+    return GridSpec.from_extent(100, 100, 2.0)
+
+
+def _ue(i, x=50.0, y=50.0):
+    ue = UE(ue_id=i)
+    ue.move_to(x, y)
+    return ue
+
+
+class TestStatic:
+    def test_never_moves(self, rng):
+        ue = _ue(1)
+        Static().step(ue, 3600.0, rng)
+        assert (ue.position.x, ue.position.y) == (50.0, 50.0)
+
+
+class TestRandomWaypoint:
+    def test_moves_at_configured_speed(self, grid, rng):
+        model = RandomWaypoint(grid, speed_mps=1.0, pause_s=0.0)
+        ue = _ue(1)
+        model.step(ue, 5.0, rng)
+        d = np.hypot(ue.position.x - 50.0, ue.position.y - 50.0)
+        assert d <= 5.0 + 1e-6
+        assert d > 0.0
+
+    def test_stays_in_grid(self, grid, rng):
+        model = RandomWaypoint(grid, speed_mps=5.0, pause_s=0.0)
+        ue = _ue(1)
+        for _ in range(50):
+            model.step(ue, 10.0, rng)
+            assert 0.0 <= ue.position.x <= 100.0
+            assert 0.0 <= ue.position.y <= 100.0
+
+    def test_pause_holds_position(self, grid, rng):
+        model = RandomWaypoint(grid, speed_mps=1000.0, pause_s=1e9)
+        ue = _ue(1)
+        model.step(ue, 1.0, rng)  # reaches a waypoint, starts pausing
+        x, y = ue.position.x, ue.position.y
+        model.step(ue, 100.0, rng)
+        assert (ue.position.x, ue.position.y) == (x, y)
+
+    def test_negative_dt_rejected(self, grid, rng):
+        with pytest.raises(ValueError):
+            RandomWaypoint(grid).step(_ue(1), -1.0, rng)
+
+
+class TestScriptedRoute:
+    def test_follows_route(self, rng):
+        route = np.array([[0.0, 0.0], [10.0, 0.0]])
+        model = ScriptedRoute(route, speed_mps=1.0)
+        ue = _ue(1, 0.0, 0.0)
+        model.step(ue, 5.0, rng)
+        assert ue.position.x == pytest.approx(5.0)
+        assert ue.position.y == pytest.approx(0.0)
+
+    def test_ping_pong(self, rng):
+        route = np.array([[0.0, 0.0], [10.0, 0.0]])
+        model = ScriptedRoute(route, speed_mps=1.0)
+        ue = _ue(1, 0.0, 0.0)
+        model.step(ue, 15.0, rng)  # 10 out + 5 back
+        assert ue.position.x == pytest.approx(5.0)
+        model.step(ue, 5.0, rng)  # back at start
+        assert ue.position.x == pytest.approx(0.0)
+
+    def test_independent_progress_per_ue(self, rng):
+        route = np.array([[0.0, 0.0], [100.0, 0.0]])
+        model = ScriptedRoute(route, speed_mps=1.0)
+        a, b = _ue(1, 0, 0), _ue(2, 0, 0)
+        model.step(a, 10.0, rng)
+        model.step(b, 20.0, rng)
+        assert a.position.x == pytest.approx(10.0)
+        assert b.position.x == pytest.approx(20.0)
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError):
+            ScriptedRoute(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            ScriptedRoute(np.array([[0.0, 0.0], [0.0, 0.0]]))
+
+
+class TestClusterMobility:
+    def test_snaps_to_spots(self, rng):
+        spots = np.array([[10.0, 10.0], [90.0, 90.0]])
+        model = ClusterMobility(spots, dwell_mean_s=1e9, jitter_m=1.0)
+        ue = _ue(1)
+        model.step(ue, 1.0, rng)
+        d = min(
+            np.hypot(ue.position.x - sx, ue.position.y - sy) for sx, sy in spots
+        )
+        assert d < 5.0
+
+    def test_dwell_prevents_rehop(self, rng):
+        spots = np.array([[10.0, 10.0], [90.0, 90.0]])
+        model = ClusterMobility(spots, dwell_mean_s=1e9, jitter_m=0.0)
+        ue = _ue(1)
+        model.step(ue, 1.0, rng)
+        pos = (ue.position.x, ue.position.y)
+        model.step(ue, 1.0, rng)
+        assert (ue.position.x, ue.position.y) == pos
+
+    def test_requires_spots(self):
+        with pytest.raises(ValueError):
+            ClusterMobility(np.empty((0, 2)))
+
+
+class TestRelocate:
+    def test_moves_requested_fraction(self, grid, rng):
+        ues = [_ue(i) for i in range(10)]
+        moved = relocate_fraction(ues, 0.5, grid, rng)
+        assert len(moved) == 5
+        for ue in ues:
+            if ue.ue_id in moved:
+                assert (ue.position.x, ue.position.y) != (50.0, 50.0)
+
+    def test_zero_fraction_noop(self, grid, rng):
+        ues = [_ue(i) for i in range(4)]
+        assert relocate_fraction(ues, 0.0, grid, rng) == []
+
+    def test_clearance_veto(self, grid, rng):
+        ues = [_ue(i) for i in range(5)]
+        relocate_fraction(ues, 1.0, grid, rng, clearance_check=lambda x, y: x < 50.0)
+        for ue in ues:
+            assert ue.position.x < 50.0
+
+    def test_invalid_fraction(self, grid, rng):
+        with pytest.raises(ValueError):
+            relocate_fraction([_ue(1)], 1.5, grid, rng)

@@ -1,0 +1,76 @@
+"""Tests for the multi-UAV cooperative extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SkyRANConfig
+from repro.core.multi_uav import MultiUAVCoordinator
+from repro.lte.throughput import throughput_mbps
+from repro.sim.scenario import Scenario
+
+
+@pytest.fixture()
+def world():
+    scenario = Scenario.create("campus", n_ues=6, cell_size=4.0, seed=12)
+    # Detach from the scenario's own eNodeB: the coordinator re-homes
+    # UEs onto per-UAV cells.
+    for ue in list(scenario.enodeb.ues):
+        scenario.enodeb.deregister_ue(ue.ue_id)
+    return scenario
+
+
+class TestSectorization:
+    def test_every_ue_assigned_once(self, world):
+        coord = MultiUAVCoordinator(
+            world.channel, world.ues, n_uavs=2, config=SkyRANConfig(rem_cell_size_m=8.0)
+        )
+        assignment = coord.assign_sectors()
+        all_ids = sorted(i for ids in assignment.ue_ids_by_uav.values() for i in ids)
+        assert all_ids == sorted(u.ue_id for u in world.ues)
+
+    def test_no_empty_sectors(self, world):
+        coord = MultiUAVCoordinator(
+            world.channel, world.ues, n_uavs=3, config=SkyRANConfig(rem_cell_size_m=8.0)
+        )
+        assignment = coord.assign_sectors()
+        for ids in assignment.ue_ids_by_uav.values():
+            assert len(ids) >= 1
+
+    def test_validates_fleet_size(self, world):
+        with pytest.raises(ValueError):
+            MultiUAVCoordinator(world.channel, world.ues, n_uavs=0)
+        with pytest.raises(ValueError):
+            MultiUAVCoordinator(world.channel, world.ues, n_uavs=99)
+
+
+class TestFleetEpoch:
+    def test_epoch_runs_all_uavs(self, world):
+        coord = MultiUAVCoordinator(
+            world.channel, world.ues, n_uavs=2, config=SkyRANConfig(rem_cell_size_m=8.0), seed=1
+        )
+        result = coord.run_epoch(budget_per_uav_m=250.0)
+        assert len(result.per_uav) == 2
+        assert result.total_flight_distance_m > 0
+
+    def test_shared_rem_store(self, world):
+        coord = MultiUAVCoordinator(
+            world.channel, world.ues, n_uavs=2, config=SkyRANConfig(rem_cell_size_m=8.0), seed=1
+        )
+        assert coord.controllers[0].rem_store is coord.controllers[1].rem_store
+        coord.run_epoch(budget_per_uav_m=200.0)
+        # Both UAVs' UEs land in the one store.
+        assert len(coord.rem_store) == len(world.ues)
+
+    def test_fleet_beats_single_uav_min_snr(self, world):
+        cfg = SkyRANConfig(rem_cell_size_m=8.0)
+        coord = MultiUAVCoordinator(world.channel, world.ues, n_uavs=2, config=cfg, seed=1)
+        coord.run_epoch(budget_per_uav_m=250.0)
+        fleet_snr = coord.per_ue_snr_db()
+        fleet_min_tput = min(throughput_mbps(s) for s in fleet_snr.values())
+
+        # Single-UAV best possible (oracle) min throughput:
+        stack = world.truth_maps(coord.controllers[0].altitude or 60.0)
+        single_best_min = throughput_mbps(float(stack.min(axis=0).max()))
+        # Two UAVs serving sectors should match or beat the single
+        # UAV's oracle worst-UE throughput (modulo estimation noise).
+        assert fleet_min_tput >= 0.5 * single_best_min

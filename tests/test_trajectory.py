@@ -1,0 +1,170 @@
+"""Unit tests for trajectories: container, zigzag, random flight, info gain."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.trajectory.base import Trajectory
+from repro.trajectory.information import (
+    DEFAULT_I_MAX,
+    TrajectoryHistory,
+    information_gain,
+)
+from repro.trajectory.random_flight import random_flight
+from repro.trajectory.uniform import zigzag_for_budget, zigzag_trajectory
+
+
+@pytest.fixture()
+def grid100():
+    return GridSpec.from_extent(100, 100, 2.0)
+
+
+class TestTrajectory:
+    def test_length(self):
+        t = Trajectory(np.array([[0, 0], [3, 0], [3, 4]]), altitude=50.0)
+        assert t.length_m == pytest.approx(7.0)
+
+    def test_duration(self):
+        t = Trajectory(np.array([[0, 0], [100, 0]]), altitude=50.0)
+        assert t.duration_s(10.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            t.duration_s(0.0)
+
+    def test_sample_xyz_carries_altitude(self):
+        t = Trajectory(np.array([[0, 0], [10, 0]]), altitude=42.0)
+        pts = t.sample_xyz(2.0)
+        assert np.all(pts[:, 2] == 42.0)
+
+    def test_truncated(self):
+        t = Trajectory(np.array([[0, 0], [100, 0]]), altitude=10.0)
+        assert t.truncated(30.0).length_m == pytest.approx(30.0)
+
+    def test_with_prefix(self):
+        t = Trajectory(np.array([[10, 0], [20, 0]]), altitude=10.0)
+        t2 = t.with_prefix((0, 0))
+        assert t2.length_m == pytest.approx(20.0)
+        np.testing.assert_allclose(t2.start(), [0, 0])
+
+    def test_requires_waypoints(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.empty((0, 2)), altitude=10.0)
+
+    def test_negative_altitude_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.array([[0, 0]]), altitude=-1.0)
+
+
+class TestZigzag:
+    def test_covers_area(self, grid100):
+        t = zigzag_trajectory(grid100, row_spacing_m=20.0, altitude=50.0)
+        wp = t.waypoints
+        assert wp[:, 1].min() <= 1.0
+        assert wp[:, 1].max() >= 99.0
+        assert wp[:, 0].min() <= 1.0 and wp[:, 0].max() >= 99.0
+
+    def test_starts_at_corner(self, grid100):
+        t = zigzag_trajectory(grid100, 20.0, 50.0)
+        np.testing.assert_allclose(t.waypoints[0], [0.0, 0.0])
+
+    def test_alternating_direction(self, grid100):
+        t = zigzag_trajectory(grid100, 25.0, 50.0)
+        # Row 0 goes east, row 1 returns west.
+        assert t.waypoints[1][0] > t.waypoints[0][0]
+        assert t.waypoints[3][0] < t.waypoints[2][0]
+
+    def test_row_offset_shifts_rows(self, grid100):
+        base = zigzag_trajectory(grid100, 20.0, 50.0)
+        shifted = zigzag_trajectory(grid100, 20.0, 50.0, row_offset_m=7.0)
+        assert shifted.waypoints[0][1] == pytest.approx(7.0)
+        assert base.waypoints[0][1] == pytest.approx(0.0)
+
+    def test_budget_respected(self, grid100):
+        for budget in (150.0, 400.0, 900.0):
+            t = zigzag_for_budget(grid100, budget, 50.0)
+            assert t.length_m <= budget + 1e-6
+            assert t.length_m >= 0.8 * min(budget, 1e9)
+
+    def test_invalid_params(self, grid100):
+        with pytest.raises(ValueError):
+            zigzag_trajectory(grid100, 0.0, 50.0)
+        with pytest.raises(ValueError):
+            zigzag_for_budget(grid100, 0.0, 50.0)
+        with pytest.raises(ValueError):
+            zigzag_trajectory(grid100, 10.0, 50.0, margin_m=60.0)
+
+
+class TestRandomFlight:
+    def test_length_matches_request(self, grid100, rng):
+        t = random_flight(grid100, (50.0, 50.0), 30.0, 60.0, rng)
+        assert t.length_m == pytest.approx(30.0, abs=1e-6)
+
+    def test_stays_in_grid(self, grid100, rng):
+        t = random_flight(grid100, (2.0, 2.0), 80.0, 60.0, rng)
+        wp = t.waypoints
+        assert wp[:, 0].min() >= grid100.origin_x - 1e-9
+        assert wp[:, 1].max() <= grid100.max_y + 1e-9
+
+    def test_stays_near_start(self, grid100, rng):
+        t = random_flight(grid100, (50.0, 50.0), 60.0, 60.0, rng, box_m=10.0)
+        d = np.hypot(t.waypoints[:, 0] - 50.0, t.waypoints[:, 1] - 50.0)
+        assert d.max() <= 10.0 * np.sqrt(2) + 1e-6
+
+    def test_has_turns(self, grid100, rng):
+        t = random_flight(grid100, (50.0, 50.0), 40.0, 60.0, rng)
+        assert len(t.waypoints) >= 4
+
+    def test_invalid_length(self, grid100, rng):
+        with pytest.raises(ValueError):
+            random_flight(grid100, (50.0, 50.0), 0.0, 60.0, rng)
+
+
+class TestInformation:
+    def test_empty_history_gets_imax(self):
+        t = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        assert information_gain(t, []) == DEFAULT_I_MAX
+
+    def test_gain_is_min_over_history(self):
+        cand = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        near = Trajectory(np.array([[0, 1], [10, 1]]), 50.0)
+        far = Trajectory(np.array([[0, 50], [10, 50]]), 50.0)
+        gain = information_gain(cand, [near, far])
+        assert gain == pytest.approx(1.0, abs=0.2)
+
+    def test_gain_capped_at_imax(self):
+        cand = Trajectory(np.array([[0, 0], [1, 0]]), 50.0)
+        far = Trajectory(np.array([[0, 1e6], [1, 1e6]]), 50.0)
+        assert information_gain(cand, [far], i_max=100.0) == 100.0
+
+    def test_history_reuse_radius(self):
+        h = TrajectoryHistory(reuse_radius_m=10.0)
+        t = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        h.record(np.array([100.0, 100.0, 1.5]), t)
+        # A UE within R of the recorded position sees the history.
+        assert len(h.trajectories_for(np.array([105.0, 100.0, 1.5]))) == 1
+        # A UE far away sees none.
+        assert len(h.trajectories_for(np.array([200.0, 200.0, 1.5]))) == 0
+
+    def test_mean_gain_over_ues(self):
+        h = TrajectoryHistory()
+        cand = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        h.record(np.array([0.0, 0.0, 1.5]), cand)
+        gain = h.mean_gain(
+            cand, [np.array([0.0, 0.0, 1.5]), np.array([500.0, 500.0, 1.5])]
+        )
+        # One UE has seen this exact path (gain ~0), the other is new
+        # (gain i_max): the mean sits halfway.
+        assert gain == pytest.approx(h.i_max / 2, rel=0.05)
+
+    def test_mean_gain_requires_ues(self):
+        h = TrajectoryHistory()
+        cand = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        with pytest.raises(ValueError):
+            h.mean_gain(cand, [])
+
+    def test_len_counts_records(self):
+        h = TrajectoryHistory()
+        t = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        h.record(np.array([0.0, 0.0, 1.5]), t)
+        h.record(np.array([0.0, 0.0, 1.5]), t)
+        h.record(np.array([90.0, 0.0, 1.5]), t)
+        assert len(h) == 3

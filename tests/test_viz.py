@@ -1,0 +1,91 @@
+"""Tests for the visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.viz.ascii_art import SHADES, ascii_heatmap, ascii_overlay
+from repro.viz.images import save_heatmap_ppm, save_pgm
+
+
+class TestAsciiHeatmap:
+    def test_gradient_uses_full_ramp(self):
+        field = np.tile(np.linspace(0, 1, 40), (10, 1))
+        art = ascii_heatmap(field, width=40)
+        assert SHADES[0] in art
+        assert SHADES[-1] in art
+
+    def test_north_up_orientation(self):
+        field = np.zeros((10, 10))
+        field[-1, :] = 1.0  # north edge hot
+        art = ascii_heatmap(field, width=10)
+        first_line = art.split("\n")[0]
+        assert SHADES[-1] in first_line
+
+    def test_nan_marked(self):
+        field = np.full((4, 4), np.nan)
+        field[0, 0] = 1.0
+        art = ascii_heatmap(field, width=4)
+        assert "?" in art
+
+    def test_downsamples_wide_fields(self):
+        field = np.zeros((20, 200))
+        art = ascii_heatmap(field, width=50)
+        assert max(len(line) for line in art.split("\n")) <= 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((3, 3)), width=0)
+
+
+class TestAsciiOverlay:
+    def test_trajectory_painted(self):
+        grid = GridSpec.from_extent(100, 100, 1.0)
+        field = np.zeros(grid.shape)
+        poly = np.array([[10.0, 50.0], [90.0, 50.0]])
+        art = ascii_overlay(field, grid, [poly], width=50)
+        assert "A" in art
+
+    def test_multiple_marks(self):
+        grid = GridSpec.from_extent(100, 100, 1.0)
+        field = np.zeros(grid.shape)
+        a = np.array([[10.0, 20.0], [90.0, 20.0]])
+        b = np.array([[10.0, 80.0], [90.0, 80.0]])
+        art = ascii_overlay(field, grid, [a, b], width=50)
+        assert "A" in art and "B" in art
+        # North-up: B (y=80) should appear above A (y=20).
+        lines = art.split("\n")
+        row_a = next(i for i, l in enumerate(lines) if "A" in l)
+        row_b = next(i for i, l in enumerate(lines) if "B" in l)
+        assert row_b < row_a
+
+
+class TestImages:
+    def test_pgm_roundtrip_header(self, tmp_path):
+        path = tmp_path / "map.pgm"
+        save_pgm(path, np.random.default_rng(0).uniform(0, 1, (16, 24)))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n24 16\n255\n")
+        assert len(data) == len(b"P5\n24 16\n255\n") + 16 * 24
+
+    def test_ppm_header_and_size(self, tmp_path):
+        path = tmp_path / "map.ppm"
+        save_heatmap_ppm(path, np.zeros((8, 10)))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n10 8\n255\n")
+        assert len(data) == len(b"P6\n10 8\n255\n") + 8 * 10 * 3
+
+    def test_extremes_map_to_ramp_ends(self, tmp_path):
+        path = tmp_path / "map.pgm"
+        field = np.array([[0.0, 1.0]])
+        save_pgm(path, field, vmin=0.0, vmax=1.0)
+        body = path.read_bytes().split(b"255\n", 1)[1]
+        assert body[0] == 0 and body[1] == 255
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", np.zeros(5))
+        with pytest.raises(ValueError):
+            save_heatmap_ppm(tmp_path / "x.ppm", np.zeros(5))
