@@ -5,19 +5,90 @@ pytest-benchmark (the experiments are whole-system simulations, not
 microbenchmarks — one round is the honest measurement), prints the
 reproduced rows next to the paper's claim, and asserts the *shape*
 assertions that make the reproduction meaningful.
+
+Each run also snapshots the :mod:`repro.perf` registry (raytrace spans,
+oracle cache hit/miss counters, ...) together with the wall time into a
+``BENCH_<slug>.json`` artifact under ``benchmarks/artifacts/`` (or
+``$REPRO_BENCH_DIR``), so every bench leaves a measurable perf baseline
+for the next optimization PR to beat.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
 
 from repro.experiments.common import print_rows
+from repro.perf import perf
+
+
+def _slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug or "bench"
+
+
+def artifact_dir() -> Path:
+    """Directory bench artifacts are written to (created on demand)."""
+    default = Path(__file__).parent / "artifacts"
+    return Path(os.environ.get("REPRO_BENCH_DIR", str(default)))
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment rows to JSON-safe values."""
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        if isinstance(value, dict):
+            return {str(k): _jsonable(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_jsonable(v) for v in value]
+        if hasattr(value, "item"):  # numpy scalar
+            return value.item()
+        if hasattr(value, "tolist"):  # numpy array
+            return value.tolist()
+        return str(value)
+
+
+def write_artifact(
+    name: str, wall_time_s: float, result: Optional[Dict] = None
+) -> Path:
+    """Write a ``BENCH_<name>.json`` perf artifact and return its path."""
+    out_dir = artifact_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "wall_time_s": wall_time_s,
+        "perf": perf.snapshot(),
+    }
+    if result is not None:
+        payload["rows"] = _jsonable(result.get("rows"))
+        if result.get("paper"):
+            payload["paper"] = result["paper"]
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_figure(benchmark, run_fn: Callable[..., Dict], title: str, **kwargs) -> Dict:
-    """Run a figure experiment once under the benchmark fixture."""
+    """Run a figure experiment once under the benchmark fixture.
+
+    Resets the perf registry first so the emitted artifact reflects
+    this figure's run alone.
+    """
+    perf.reset()
+    t0 = time.perf_counter()
     result = benchmark.pedantic(
         lambda: run_fn(quick=True, **kwargs), rounds=1, iterations=1
     )
+    wall = time.perf_counter() - t0
     print_rows(title, result["rows"], result.get("paper"))
+    path = write_artifact(_slugify(title), wall, result)
+    print(f"[perf] artifact: {path}")
     return result

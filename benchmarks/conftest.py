@@ -8,4 +8,13 @@ bench is a standalone reproduction script).
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every bench so ``-m 'not bench'`` keeps mixed runs fast."""
+    for item in items:
+        if Path(item.fspath).name.startswith("bench_"):
+            item.add_marker(pytest.mark.bench)

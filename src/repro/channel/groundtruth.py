@@ -5,6 +5,13 @@ exhaustive measurement flight (testbed, Fig. 15) or full ray tracing
 (scale-up study).  Here the oracle is the channel model's mean SNR on
 every grid cell — no fading, no measurement noise — which is what an
 infinitely long averaging flight would converge to.
+
+The stack builder rides the batched map oracle
+(:meth:`~repro.channel.model.ChannelModel.snr_maps`): all UEs are
+traced in chunked vectorized batches, per-UE maps are memoized across
+calls, and ``workers``/``REPRO_NUM_WORKERS`` can fan the work out over
+a process pool — the serial, batched and parallel paths all produce
+identical stacks.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import numpy as np
 
 from repro.channel.model import ChannelModel
 from repro.geo.grid import GridSpec
+from repro.perf import perf
 
 
 def ground_truth_rem(
@@ -35,13 +43,15 @@ def ground_truth_stack(
     ue_positions: Sequence,
     altitude: float,
     grid: Optional[GridSpec] = None,
+    *,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
 ) -> np.ndarray:
     """Oracle SNR maps for all UEs, stacked ``(n_ue, ny, nx)``."""
-    maps = [
-        ground_truth_rem(model, np.asarray(ue, dtype=float), altitude, grid)
-        for ue in ue_positions
-    ]
-    if not maps:
+    if len(ue_positions) == 0:
         g = grid or model.terrain.grid
         return np.empty((0,) + g.shape)
-    return np.stack(maps)
+    with perf.span("groundtruth.stack"):
+        return model.snr_maps(
+            ue_positions, altitude, grid, workers=workers, use_cache=use_cache
+        )

@@ -16,22 +16,66 @@ environment actually look like" in this reproduction.  It produces:
 The same object generates both the ground truth and every measurement,
 so estimated REMs can in principle converge to the truth — exactly the
 premise of a measurement-driven system like SkyRAN.
+
+Because every figure funnels through this oracle, the map path is
+batch-first: :meth:`path_loss_maps` computes whole ``(n_ue, ny, nx)``
+stacks in chunked vectorized batches over the UE axis, memoizes per-UE
+maps in an LRU cache keyed on (altitude, grid, UE position) — so UE
+mobility only invalidates the maps of UEs that actually moved — and
+can optionally fan the per-UE work out over a process pool
+(``REPRO_NUM_WORKERS``; serial by default so results stay reproducible
+run-to-run on any machine).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.fading import sample_fading_db
-from repro.channel.fspl import DEFAULT_FREQ_HZ, fspl_db
+from repro.channel.fspl import DEFAULT_FREQ_HZ, fspl_db, fspl_map
 from repro.channel.linkbudget import LinkBudget
-from repro.channel.raytrace import obstructed_lengths
+from repro.channel.raytrace import LinkState, obstructed_lengths, ray_profile_batch
 from repro.channel.shadowing import ShadowingField
 from repro.geo.grid import GridSpec
+from repro.perf import perf
 from repro.terrain.heightmap import Terrain
+
+#: Environment knob for the default process-pool width of the map
+#: oracle.  1 (or unset) keeps everything serial.
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+#: Peak ray budget per UE-axis chunk of the batched map kernel (the
+#: ray tracer further chunks by sample count internally).
+_MAP_CHUNK_RAYS = 2_000_000
+
+
+def default_num_workers() -> int:
+    """Worker count from ``REPRO_NUM_WORKERS`` (serial when unset)."""
+    try:
+        return max(1, int(os.environ.get(NUM_WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+# -- process-pool plumbing (module level so it pickles) -------------------------
+
+_WORKER_MODEL: Optional["ChannelModel"] = None
+
+
+def _map_worker_init(model: "ChannelModel") -> None:
+    global _WORKER_MODEL
+    _WORKER_MODEL = model
+
+
+def _map_worker(args: tuple) -> np.ndarray:
+    ue, altitude, grid = args
+    assert _WORKER_MODEL is not None
+    return _WORKER_MODEL._compute_path_loss_maps([ue], altitude, grid)[0]
 
 
 @dataclass
@@ -73,6 +117,11 @@ class ChannelModel:
         Link budget for path-loss -> SNR conversion.
     seed:
         Base seed for the per-UE shadowing fields.
+    map_cache_size:
+        Maximum number of per-UE full-grid maps (and FSPL priors) kept
+        in the LRU oracle cache.  The cache is keyed on (altitude,
+        grid, UE position), so a moved UE simply stops hitting its old
+        entry — the maps of unmoved UEs stay warm across epochs.
     """
 
     terrain: Terrain
@@ -86,8 +135,12 @@ class ChannelModel:
     ray_step_m: float = 1.0
     link: LinkBudget = field(default_factory=LinkBudget)
     seed: int = 0
+    map_cache_size: int = 128
     _shadow_cache: Dict[Tuple[float, float, float], ShadowingField] = field(
         default_factory=dict, repr=False
+    )
+    _map_cache: "OrderedDict[tuple, np.ndarray]" = field(
+        default_factory=OrderedDict, repr=False
     )
 
     # -- shadowing --------------------------------------------------------------
@@ -123,6 +176,31 @@ class ChannelModel:
 
     # -- mean path loss ----------------------------------------------------------
 
+    def _excess_db(self, obstructed: np.ndarray) -> np.ndarray:
+        """Obstruction excess loss (diffraction entry + per-meter, capped)."""
+        return np.where(
+            obstructed > 0.0,
+            np.minimum(
+                self.diffraction_db + self.excess_db_per_m * obstructed,
+                self.excess_cap_db,
+            ),
+            0.0,
+        )
+
+    def _loss_from_obstructed(
+        self, uav: np.ndarray, ue: np.ndarray, obstructed: np.ndarray
+    ) -> np.ndarray:
+        """Mean path loss given pre-traced obstructed lengths."""
+        dist = np.linalg.norm(uav - ue[None, :], axis=1)
+        loss = fspl_db(dist, self.freq_hz)
+        loss = loss + self._excess_db(obstructed)
+        if self.shadowing_sigma_db > 0:
+            shadow = self._shadowing_for(ue)
+            loss = loss + shadow.at_many(uav[:, :2])
+        if self.common_sigma_db > 0:
+            loss = loss + self._common_shadowing().at_many(uav[:, :2])
+        return loss
+
     def path_loss_db(self, uav_xyz: np.ndarray, ue_xyz: np.ndarray) -> np.ndarray:
         """Mean path loss from UAV position(s) to one UE, in dB.
 
@@ -132,26 +210,26 @@ class ChannelModel:
         single = np.asarray(uav_xyz, dtype=float).ndim == 1
         uav = np.atleast_2d(np.asarray(uav_xyz, dtype=float))
         ue = np.asarray(ue_xyz, dtype=float).reshape(3)
-        dist = np.linalg.norm(uav - ue[None, :], axis=1)
-        loss = fspl_db(dist, self.freq_hz)
         obstructed = obstructed_lengths(self.terrain, uav, ue, self.ray_step_m)
-        excess = np.where(
-            obstructed > 0.0,
-            np.minimum(
-                self.diffraction_db + self.excess_db_per_m * obstructed,
-                self.excess_cap_db,
-            ),
-            0.0,
-        )
-        loss = loss + excess
-        if self.shadowing_sigma_db > 0:
-            shadow = self._shadowing_for(ue)
-            loss = loss + shadow.at_many(uav[:, :2])
-        if self.common_sigma_db > 0:
-            loss = loss + self._common_shadowing().at_many(uav[:, :2])
+        loss = self._loss_from_obstructed(uav, ue, obstructed)
         if single:
             return float(loss[0])
         return loss
+
+    def path_loss_and_los(
+        self, uav_xyz: np.ndarray, ue_xyz: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean path loss *and* LOS state from a single shared trace.
+
+        The measurement paths need both (loss for the mean SNR, LOS for
+        the fading/jitter statistics); calling :meth:`path_loss_db` and
+        :meth:`is_los` separately would trace the same rays twice.
+        """
+        uav = np.atleast_2d(np.asarray(uav_xyz, dtype=float))
+        ue = np.asarray(ue_xyz, dtype=float).reshape(3)
+        state: LinkState = ray_profile_batch(self.terrain, uav, ue, self.ray_step_m)
+        loss = self._loss_from_obstructed(uav, ue, state.obstructed_m)
+        return loss, state.los
 
     def snr_db(self, uav_xyz: np.ndarray, ue_xyz: np.ndarray) -> np.ndarray:
         """Mean SNR (dB) from UAV position(s) to one UE."""
@@ -174,7 +252,9 @@ class ChannelModel:
         """Mean path loss from every grid cell (at ``altitude``) to a UE.
 
         ``grid`` defaults to the terrain grid; pass a coarsened grid to
-        trade resolution for speed in large scale-up runs.
+        trade resolution for speed in large scale-up runs.  This is the
+        direct serial reference path — it does not touch the map cache
+        (see :meth:`path_loss_maps` for the batched/cached oracle).
         """
         g = grid or self.terrain.grid
         centers = g.centers_flat()
@@ -191,6 +271,178 @@ class ChannelModel:
         """Mean SNR map over the grid at ``altitude`` for one UE."""
         return self.link.snr_db(self.path_loss_map(ue_xyz, altitude, grid))
 
+    # -- batched / cached / parallel map oracle -----------------------------------
+
+    def _map_key(self, kind: str, ue: np.ndarray, altitude: float, g: GridSpec) -> tuple:
+        return (
+            kind,
+            g,
+            round(float(altitude), 6),
+            (round(float(ue[0]), 6), round(float(ue[1]), 6), round(float(ue[2]), 6)),
+        )
+
+    def _map_cache_get(self, key: tuple) -> Optional[np.ndarray]:
+        hit = self._map_cache.get(key)
+        if hit is None:
+            perf.count("oracle.map_cache.miss")
+            return None
+        self._map_cache.move_to_end(key)
+        perf.count("oracle.map_cache.hit")
+        return hit
+
+    def _map_cache_put(self, key: tuple, value: np.ndarray) -> None:
+        self._map_cache[key] = value
+        self._map_cache.move_to_end(key)
+        while len(self._map_cache) > self.map_cache_size:
+            self._map_cache.popitem(last=False)
+            perf.count("oracle.map_cache.evict")
+
+    def path_loss_maps(
+        self,
+        ue_positions: Sequence,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        *,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Mean path loss maps for many UEs, stacked ``(n_ue, ny, nx)``.
+
+        The multi-UE kernel: rays for whole groups of UEs are traced in
+        chunked vectorized batches over the UE axis (one terrain gather
+        per chunk) instead of one Python-level map loop per UE, per-UE
+        results are memoized in the LRU oracle cache, and cache misses
+        can optionally be computed by a process pool (``workers`` /
+        ``REPRO_NUM_WORKERS``; the default 1 keeps everything in
+        process).  Serial, parallel and cached paths all produce
+        identical maps.
+        """
+        g = grid or self.terrain.grid
+        ues = [np.asarray(u, dtype=float).reshape(3) for u in ue_positions]
+        out = np.empty((len(ues),) + g.shape, dtype=float)
+        if not ues:
+            return out
+        missing: List[int] = []
+        for i, ue in enumerate(ues):
+            cached = (
+                self._map_cache_get(self._map_key("pl", ue, altitude, g))
+                if use_cache
+                else None
+            )
+            if cached is not None:
+                out[i] = cached
+            else:
+                missing.append(i)
+        if missing:
+            n_workers = default_num_workers() if workers is None else max(1, workers)
+            missing_ues = [ues[i] for i in missing]
+            with perf.span("oracle.path_loss_maps"):
+                if n_workers > 1 and len(missing_ues) > 1:
+                    maps = self._parallel_path_loss_maps(
+                        missing_ues, altitude, g, n_workers
+                    )
+                else:
+                    maps = self._compute_path_loss_maps(missing_ues, altitude, g)
+            for i, m in zip(missing, maps):
+                out[i] = m
+                if use_cache:
+                    self._map_cache_put(self._map_key("pl", ues[i], altitude, g), m)
+        return out
+
+    def snr_maps(
+        self,
+        ue_positions: Sequence,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        *,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Mean SNR maps for many UEs, stacked ``(n_ue, ny, nx)``."""
+        return self.link.snr_db(
+            self.path_loss_maps(
+                ue_positions, altitude, grid, workers=workers, use_cache=use_cache
+            )
+        )
+
+    def _compute_path_loss_maps(
+        self, ues: Sequence[np.ndarray], altitude: float, g: GridSpec
+    ) -> np.ndarray:
+        """The vectorized multi-UE map kernel (no cache, no pool).
+
+        UEs are processed in chunks along the UE axis sized so each ray
+        batch stays within :data:`_MAP_CHUNK_RAYS`; within a chunk one
+        ray-trace call covers every (cell, UE) pair.
+        """
+        centers = g.centers_flat()
+        n_cells = len(centers)
+        alt = float(altitude)
+        uav = np.column_stack([centers, np.full(n_cells, alt)])
+        out = np.empty((len(ues),) + g.shape, dtype=float)
+        chunk = max(1, _MAP_CHUNK_RAYS // n_cells)
+        for lo in range(0, len(ues), chunk):
+            batch = ues[lo : lo + chunk]
+            k = len(batch)
+            tx = np.tile(uav, (k, 1))
+            rx = np.repeat(np.stack(batch), n_cells, axis=0)
+            obstructed = obstructed_lengths(self.terrain, tx, rx, self.ray_step_m)
+            for j, ue in enumerate(batch):
+                obs = obstructed[j * n_cells : (j + 1) * n_cells]
+                out[lo + j] = self._loss_from_obstructed(uav, ue, obs).reshape(g.shape)
+        return out
+
+    def _parallel_path_loss_maps(
+        self,
+        ues: Sequence[np.ndarray],
+        altitude: float,
+        g: GridSpec,
+        n_workers: int,
+    ) -> np.ndarray:
+        """Fan per-UE map computation out over a process pool.
+
+        Workers receive a cache-stripped copy of the model once (pool
+        initializer) and compute whole per-UE maps; results are
+        identical to the serial kernel because the per-ray sampling of
+        the tracer does not depend on batch composition.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        bare = replace(self, _shadow_cache={}, _map_cache=OrderedDict())
+        tasks = [(ue, float(altitude), g) for ue in ues]
+        perf.count("oracle.parallel_batches")
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(tasks)),
+            initializer=_map_worker_init,
+            initargs=(bare,),
+        ) as pool:
+            maps = list(pool.map(_map_worker, tasks))
+        return np.stack(maps)
+
+    # -- FSPL priors --------------------------------------------------------------
+
+    def fspl_prior_map(
+        self,
+        ue_xyz: np.ndarray,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+    ) -> np.ndarray:
+        """FSPL-only path loss map (the Section 3.5 REM seed), cached.
+
+        Same LRU cache and key structure as the truth maps, so priors
+        survive across epochs and only positions that actually changed
+        are recomputed.
+        """
+        g = grid or self.terrain.grid
+        ue = np.asarray(ue_xyz, dtype=float).reshape(3)
+        key = self._map_key("fspl", ue, altitude, g)
+        cached = self._map_cache_get(key)
+        if cached is not None:
+            return cached.copy()
+        with perf.span("oracle.fspl_prior_map"):
+            pl = fspl_map(g, ue, float(altitude), self.freq_hz)
+        self._map_cache_put(key, pl)
+        return pl.copy()
+
     # -- measurement samples -------------------------------------------------------
 
     def sample_snr_db(
@@ -204,11 +456,11 @@ class ChannelModel:
 
         Mean SNR + Rician/Rayleigh small-scale fading (K keyed on the
         LOS state of each sample position) + Gaussian instrument noise.
+        One ray trace serves both the mean and the LOS state.
         """
         uav = np.atleast_2d(np.asarray(uav_xyz, dtype=float))
-        mean = self.snr_db(uav, ue_xyz)
-        mean = np.atleast_1d(mean)
-        los = self.is_los(uav, ue_xyz)
+        loss, los = self.path_loss_and_los(uav, ue_xyz)
+        mean = np.atleast_1d(self.link.snr_db(loss))
         fading = sample_fading_db(los, rng)
         noise = rng.normal(0.0, measurement_noise_db, size=mean.shape)
         out = mean + fading + noise

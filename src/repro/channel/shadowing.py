@@ -20,6 +20,13 @@ from scipy import ndimage
 from repro.geo.grid import GridSpec
 
 
+#: Stand-in hashed for ``seed=None`` so that an explicit ``seed=0``
+#: and "no seed" yield *different* realisations (they used to collapse
+#: via ``seed or 0``).  Any value no caller would pass works; keeping
+#: 0 -> 0.0 preserves every seeded realisation bit-for-bit.
+_NONE_SEED_SENTINEL = -9_221_120_237_041_090_560.0
+
+
 def _hash_seed(*parts: float) -> int:
     """Deterministic 63-bit seed from a tuple of floats/ints (FNV-1a)."""
     h = 1469598103934665603
@@ -73,7 +80,8 @@ class ShadowingField:
             raise ValueError(f"correlation_m must be positive, got {correlation_m}")
         if ue_xyz is not None:
             ue = np.asarray(ue_xyz, dtype=float)
-            seed = _hash_seed(seed or 0, ue[0], ue[1], ue[2] if len(ue) > 2 else 0.0)
+            seed_part = _NONE_SEED_SENTINEL if seed is None else float(seed)
+            seed = _hash_seed(seed_part, ue[0], ue[1], ue[2] if len(ue) > 2 else 0.0)
         rng = np.random.default_rng(seed)
         if sigma_db == 0:
             return cls(grid, np.zeros(grid.shape), 0.0, correlation_m)

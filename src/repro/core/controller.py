@@ -15,7 +15,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.channel.fspl import fspl_map
 from repro.channel.model import ChannelModel
 from repro.core.config import SkyRANConfig
 from repro.core.epoch import EpochTrigger
@@ -201,17 +200,20 @@ class SkyRANController:
     def _search_altitude(self, centroid_xy: np.ndarray) -> tuple:
         """First-epoch altitude search above the estimated UE centroid.
 
-        The UAV hovers over the centroid and descends step by step,
-        *measuring* mean path loss to its attached UEs at each stop —
-        the measurement is of the real world (true UE positions), as
-        it would be on hardware.
+        The UAV flies to the ceiling over the centroid and descends
+        step by step, *measuring* mean path loss to its attached UEs at
+        each stop — the measurement is of the real world (true UE
+        positions), as it would be on hardware.  Every probe actually
+        moves the UAV (descending during the search, then climbing back
+        to the best altitude found), so the charged distance equals the
+        flown path — no analytic descent term double-counting the
+        ceiling-to-optimum leg on top of the repositioning flight.
         """
         ues = self.enodeb.connected_ues()
-        start_distance = self.uav.clock_s
+        start_clock_s = self.uav.clock_s
 
         top = np.array([centroid_xy[0], centroid_xy[1], self.config.max_altitude_m])
-        log = self.uav.goto(top, self.rng)
-        distance = log.distance_m
+        distance = self.uav.goto(top, self.rng).distance_m
 
         # Each probe averages ~1 s of 100 Hz PHY reports, so the
         # residual probe noise is small.
@@ -219,6 +221,9 @@ class SkyRANController:
 
         def path_loss_at(alt: float) -> float:
             pos = np.array([centroid_xy[0], centroid_xy[1], alt])
+            nonlocal distance
+            if abs(float(self.uav.position[2]) - alt) > 1e-9:
+                distance += self.uav.goto(pos, self.rng).distance_m
             losses = [
                 float(self.channel.path_loss_db(pos, ue.xyz)) for ue in ues
             ]
@@ -230,13 +235,12 @@ class SkyRANController:
             self.config.min_altitude_m,
             self.config.altitude_step_m,
         )
-        # Descent distance: from the ceiling to one step past the optimum.
-        descent = self.config.max_altitude_m - altitude + self.config.altitude_step_m
+        # Climb back from wherever the search stopped to the optimum.
         log2 = self.uav.goto(
             np.array([centroid_xy[0], centroid_xy[1], altitude]), self.rng
         )
-        distance += descent + log2.distance_m
-        duration = self.uav.clock_s - start_distance
+        distance += log2.distance_m
+        duration = self.uav.clock_s - start_clock_s
         return altitude, distance, duration
 
     def _uncertainty_discounted(self, snr_map: np.ndarray, rem) -> np.ndarray:
@@ -262,8 +266,12 @@ class SkyRANController:
         return snr_map - penalty.reshape(self.rem_grid.shape)
 
     def _prior_for(self, ue_xyz: np.ndarray) -> np.ndarray:
-        """FSPL-seed SNR map for a never-measured UE position."""
-        pl = fspl_map(self.rem_grid, ue_xyz, self.altitude, self.channel.freq_hz)
+        """FSPL-seed SNR map for a never-measured UE position.
+
+        Served from the channel's LRU prior cache, so re-seeding the
+        same (or a returning) UE position across epochs is free.
+        """
+        pl = self.channel.fspl_prior_map(ue_xyz, self.altitude, self.rem_grid)
         return self.channel.link.snr_db(pl)
 
     # -- the epoch --------------------------------------------------------------------

@@ -87,9 +87,11 @@ def collect_gps_ranges(
     ue_xyz = ue.xyz
 
     dist = np.linalg.norm(true_pos - ue_xyz[None, :], axis=1)
-    los = channel.is_los(true_pos, ue_xyz)
-    # Uplink SNR: same path loss (reciprocity), UE-class Tx power.
-    snr = UPLINK_BUDGET.snr_db(channel.path_loss_db(true_pos, ue_xyz))
+    # One trace yields both the LOS state (jitter/multipath statistics)
+    # and the path loss; uplink SNR reuses it via reciprocity with the
+    # UE-class Tx power.
+    path_loss, los = channel.path_loss_and_los(true_pos, ue_xyz)
+    snr = UPLINK_BUDGET.snr_db(path_loss)
     jitter_std = np.where(los, TOF_JITTER_LOS_S, TOF_JITTER_NLOS_S)
     jitter_m = rng.normal(0.0, 1.0, n_srs) * jitter_std * 299_792_458.0
 

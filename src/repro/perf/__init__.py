@@ -1,0 +1,16 @@
+"""Performance instrumentation (timers, counters, bench artifacts).
+
+See :mod:`repro.perf.registry` for the core registry.  Typical use::
+
+    from repro.perf import perf
+
+    with perf.span("raytrace"):
+        ...
+    perf.count("oracle.map_cache.hit")
+
+    print("\\n".join(perf.report_lines()))
+"""
+
+from repro.perf.registry import PerfRegistry, SpanStat, perf
+
+__all__ = ["PerfRegistry", "SpanStat", "perf"]

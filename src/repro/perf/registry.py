@@ -1,0 +1,142 @@
+"""Lightweight timer/counter registry for the hot paths.
+
+Every performance-sensitive layer (ray tracer, map oracle, caches,
+benchmark drivers) reports into one process-wide :data:`perf` registry:
+``perf.span("raytrace")`` accumulates wall time per named section and
+``perf.count("oracle.map_cache.hit")`` bumps named counters.  Benches
+snapshot the registry into ``BENCH_*.json`` artifacts so every future
+perf PR has a measured baseline to beat, and tests use the counters to
+assert structural properties ("exactly one raytrace per sample batch")
+that wall time alone cannot pin down.
+
+The registry is deliberately tiny: a dict of counters, a dict of span
+stats and a lock.  Disable it wholesale with ``REPRO_PERF=0`` when even
+microseconds matter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class SpanStat:
+    """Accumulated statistics for one named span."""
+
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class PerfRegistry:
+    """Process-wide named timers and counters.
+
+    Thread-safe; cheap enough to leave enabled (one ``perf_counter``
+    pair and a dict update per span).  All query methods return copies,
+    so callers can snapshot-and-reset without racing the hot paths.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._spans: Dict[str, SpanStat] = {}
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulating)."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            with self._lock:
+                stat = self._spans.get(name)
+                if stat is None:
+                    stat = self._spans[name] = SpanStat()
+                stat.calls += 1
+                stat.total_s += dt
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    # -- querying ------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def spans(self) -> Dict[str, SpanStat]:
+        with self._lock:
+            return {k: SpanStat(v.calls, v.total_s) for k, v in self._spans.items()}
+
+    def snapshot(self) -> Dict:
+        """JSON-ready dict of every span and counter."""
+        with self._lock:
+            return {
+                "spans": {
+                    name: {
+                        "calls": stat.calls,
+                        "total_s": stat.total_s,
+                        "mean_s": stat.mean_s,
+                    }
+                    for name, stat in sorted(self._spans.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+    def report_lines(self) -> List[str]:
+        """Human-readable report, spans sorted by total time."""
+        snap = self.snapshot()
+        lines = ["perf spans:"]
+        spans = sorted(
+            snap["spans"].items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        )
+        for name, stat in spans:
+            lines.append(
+                f"  {name:<32s} {stat['calls']:>8d} calls  "
+                f"{stat['total_s']:>9.3f} s  {stat['mean_s'] * 1e3:>8.3f} ms/call"
+            )
+        lines.append("perf counters:")
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<32s} {value:>12d}")
+        return lines
+
+    def dump(self, path: str) -> None:
+        """Write the snapshot as JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def reset(self) -> None:
+        """Drop every span and counter."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+
+
+#: The process-wide default registry every subsystem reports into.
+perf = PerfRegistry(enabled=os.environ.get("REPRO_PERF", "1") != "0")

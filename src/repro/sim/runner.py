@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.mobility.models import relocate_fraction
+from repro.perf import perf
 from repro.sim.metrics import median_rem_error
 from repro.sim.scenario import Scenario
 
@@ -114,11 +115,13 @@ def run_epochs(
                         terrain.height_at(ue.position.x, ue.position.y) + 1.5,
                     )
             moved = tuple(moved_ids)
-        if budget_per_epoch_m is not None:
-            result = controller.run_epoch(budget_per_epoch_m)
-        else:
-            result = controller.run_epoch()
-        rel, err = _evaluate_epoch(scenario, controller, result, rem_grid)
+        with perf.span("runner.epoch"):
+            if budget_per_epoch_m is not None:
+                result = controller.run_epoch(budget_per_epoch_m)
+            else:
+                result = controller.run_epoch()
+        with perf.span("runner.evaluate"):
+            rel, err = _evaluate_epoch(scenario, controller, result, rem_grid)
         cum_d += result.flight_distance_m
         cum_t += result.flight_time_s
         record = EpochRecord(

@@ -61,6 +61,10 @@ class Scenario:
     eval_grid: GridSpec
     _truth_cache: Dict[tuple, np.ndarray] = field(default_factory=dict, repr=False)
 
+    #: Bound on stack-level truth cache entries (the per-UE maps
+    #: underneath live in the channel's LRU oracle cache).
+    _TRUTH_CACHE_MAX = 32
+
     # -- construction ------------------------------------------------------------
 
     @classmethod
@@ -206,12 +210,18 @@ class Scenario:
         return [ue.xyz for ue in self.ues]
 
     def truth_maps(
-        self, altitude: float, grid: Optional[GridSpec] = None
+        self,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Ground-truth SNR maps, ``(n_ue, ny, nx)``, cached.
 
-        The cache keys on altitude, grid and the UE positions, so it
-        stays correct under mobility.
+        The stack-level cache keys on altitude, grid and the UE
+        positions so repeated queries return the identical array.
+        When a UE moves the stack is rebuilt, but the heavy lifting is
+        per-UE memoized inside the channel's map oracle — only the
+        moved UEs are actually re-traced.
         """
         g = grid or self.eval_grid
         pos_key = tuple(
@@ -220,8 +230,10 @@ class Scenario:
         key = (round(altitude, 2), g, pos_key)
         if key not in self._truth_cache:
             self._truth_cache[key] = ground_truth_stack(
-                self.channel, self.ue_positions(), altitude, g
+                self.channel, self.ue_positions(), altitude, g, workers=workers
             )
+            while len(self._truth_cache) > self._TRUTH_CACHE_MAX:
+                self._truth_cache.pop(next(iter(self._truth_cache)))
         return self._truth_cache[key]
 
     def evaluate(self, position) -> PlacementEvaluation:

@@ -38,12 +38,15 @@ class Terrain:
     name: str = "terrain"
 
     def __post_init__(self) -> None:
-        h = np.asarray(self.heights, dtype=float)
+        h = np.ascontiguousarray(np.asarray(self.heights, dtype=float))
         if h.shape != self.grid.shape:
             raise ValueError(
                 f"heights shape {h.shape} does not match grid shape {self.grid.shape}"
             )
         object.__setattr__(self, "heights", h)
+        # Hot-path caches (not dataclass fields: derived, immutable).
+        object.__setattr__(self, "_heights_flat", h.ravel())
+        object.__setattr__(self, "_max_height", float(np.max(h)))
 
     # -- queries ---------------------------------------------------------------
 
@@ -62,21 +65,27 @@ class Terrain:
 
         ``xs``/``ys`` may have any (matching) shape; the result has the
         same shape.  Used by the vectorized ray tracer where sample
-        points come as ``(n_rays, n_steps)`` grids.
+        points come as ``(n_rays, n_steps)`` grids, so this is one of
+        the hottest functions in the system: indices are built with a
+        single fused flat gather.  Truncation replaces ``floor`` —
+        exact here because every negative index truncates into the
+        ``[-1, 0]`` gap or beyond and is clipped to cell 0 either way.
         """
-        xs = np.asarray(xs, dtype=float)
-        ys = np.asarray(ys, dtype=float)
-        ix = np.floor((xs - self.grid.origin_x) / self.grid.cell_size).astype(int)
-        iy = np.floor((ys - self.grid.origin_y) / self.grid.cell_size).astype(int)
-        np.clip(ix, 0, self.grid.nx - 1, out=ix)
-        np.clip(iy, 0, self.grid.ny - 1, out=iy)
-        return self.heights[iy, ix]
+        grid = self.grid
+        inv = 1.0 / grid.cell_size
+        ix = ((np.asarray(xs, dtype=float) - grid.origin_x) * inv).astype(np.int32)
+        iy = ((np.asarray(ys, dtype=float) - grid.origin_y) * inv).astype(np.int32)
+        np.clip(ix, 0, grid.nx - 1, out=ix)
+        np.clip(iy, 0, grid.ny - 1, out=iy)
+        iy *= grid.nx
+        iy += ix
+        return self._heights_flat.take(iy)
 
     # -- statistics --------------------------------------------------------------
 
     @property
     def max_height(self) -> float:
-        return float(np.max(self.heights))
+        return self._max_height
 
     @property
     def mean_height(self) -> float:

@@ -1,0 +1,234 @@
+"""Golden-equivalence and structural tests for the batched map oracle.
+
+The batched/cached/parallel :meth:`ChannelModel.path_loss_maps` oracle
+must produce exactly the maps the direct serial per-UE reference
+(:meth:`ChannelModel.path_loss_map`) produces — bit-identical, across
+terrains, altitudes, chunk boundaries and worker counts.  The perf
+counters additionally pin structural properties the timings cannot:
+one ray trace per sample batch, cache hits on re-query, and recompute
+limited to UEs that actually moved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.channel.model as model_mod
+import repro.channel.raytrace as raytrace_mod
+from repro.channel.groundtruth import ground_truth_stack
+from repro.channel.model import ChannelModel
+from repro.channel.raytrace import obstructed_lengths, ray_profile_batch
+from repro.channel.shadowing import ShadowingField
+from repro.core.config import SkyRANConfig
+from repro.core.controller import SkyRANController
+from repro.perf import perf
+from repro.sim.scenario import Scenario
+
+
+def _ues_on(terrain, n=4, seed=0):
+    """A few UE positions on walkable cells of a terrain."""
+    rng = np.random.default_rng(seed)
+    iy, ix = terrain.free_cells()
+    pick = rng.choice(len(ix), size=n, replace=False)
+    gx, gy = terrain.grid.centers()
+    return [
+        np.array([gx[iy[p], ix[p]], gy[iy[p], ix[p]], 1.5], dtype=float)
+        for p in pick
+    ]
+
+
+# -- golden equivalence: batched == serial reference ----------------------------
+
+
+@pytest.mark.parametrize("altitude", [40.0, 60.0, 118.0])
+def test_batched_maps_match_serial_reference_box(box_channel, altitude):
+    ues = _ues_on(box_channel.terrain)
+    batched = box_channel.path_loss_maps(ues, altitude, use_cache=False)
+    for i, ue in enumerate(ues):
+        reference = box_channel.path_loss_map(ue, altitude)
+        np.testing.assert_array_equal(batched[i], reference)
+
+
+def test_batched_maps_match_serial_reference_flat(flat_channel):
+    ues = _ues_on(flat_channel.terrain)
+    batched = flat_channel.path_loss_maps(ues, 60.0, use_cache=False)
+    for i, ue in enumerate(ues):
+        np.testing.assert_array_equal(
+            batched[i], flat_channel.path_loss_map(ue, 60.0)
+        )
+
+
+def test_batched_maps_match_serial_reference_campus_with_shadowing(campus_terrain):
+    # Shadowing on: the full production configuration.
+    channel = ChannelModel(campus_terrain, seed=5)
+    ues = _ues_on(campus_terrain, n=3, seed=2)
+    grid = campus_terrain.grid.coarsen(2)
+    batched = channel.path_loss_maps(ues, 60.0, grid, use_cache=False)
+    for i, ue in enumerate(ues):
+        np.testing.assert_array_equal(batched[i], channel.path_loss_map(ue, 60.0, grid))
+
+
+def test_results_invariant_to_chunk_boundaries(box_channel, monkeypatch):
+    ues = _ues_on(box_channel.terrain, n=5)
+    full = box_channel.path_loss_maps(ues, 55.0, use_cache=False)
+    # Force the UE-axis chunking to one UE per batch and the ray
+    # tracer's internal sample chunking to tiny blocks.
+    monkeypatch.setattr(model_mod, "_MAP_CHUNK_RAYS", 1)
+    monkeypatch.setattr(raytrace_mod, "_CHUNK_SAMPLES", 512)
+    chunked = box_channel.path_loss_maps(ues, 55.0, use_cache=False)
+    np.testing.assert_array_equal(chunked, full)
+
+
+def test_obstructed_lengths_batch_invariant(box_channel):
+    # A ray's result must not depend on what else is in the batch
+    # (per-ray bucketed sampling) — the property that makes chunked,
+    # cached and parallel paths interchangeable.
+    terrain = box_channel.terrain
+    rng = np.random.default_rng(3)
+    tx = np.column_stack(
+        [rng.uniform(0, 100, 16), rng.uniform(0, 100, 16), rng.uniform(30, 120, 16)]
+    )
+    ue = np.array([50.0, 30.0, 1.5])
+    full = obstructed_lengths(terrain, tx, ue)
+    for sl in (slice(0, 1), slice(3, 7), slice(10, 16)):
+        np.testing.assert_array_equal(obstructed_lengths(terrain, tx[sl], ue), full[sl])
+
+
+def test_parallel_workers_match_serial(box_channel):
+    ues = _ues_on(box_channel.terrain, n=3)
+    serial = box_channel.path_loss_maps(ues, 60.0, use_cache=False)
+    parallel = box_channel.path_loss_maps(ues, 60.0, use_cache=False, workers=2)
+    np.testing.assert_array_equal(parallel, serial)
+
+
+def test_ground_truth_stack_matches_per_ue_snr_maps(box_channel):
+    ues = _ues_on(box_channel.terrain, n=3)
+    stack = ground_truth_stack(box_channel, ues, 60.0)
+    for i, ue in enumerate(ues):
+        np.testing.assert_array_equal(stack[i], box_channel.snr_map(ue, 60.0))
+
+
+# -- structural perf properties -------------------------------------------------
+
+
+def test_sample_snr_db_traces_once_per_batch(box_channel, rng):
+    uav = np.column_stack(
+        [np.linspace(10, 90, 50), np.linspace(20, 80, 50), np.full(50, 60.0)]
+    )
+    ue = np.array([50.0, 30.0, 1.5])
+    before = perf.counter("raytrace.calls")
+    box_channel.sample_snr_db(uav, ue, rng)
+    assert perf.counter("raytrace.calls") == before + 1
+
+
+def test_path_loss_and_los_traces_once(box_channel):
+    uav = np.array([[20.0, 20.0, 60.0], [50.0, 50.0, 80.0]])
+    ue = np.array([50.0, 30.0, 1.5])
+    before = perf.counter("raytrace.calls")
+    loss, los = box_channel.path_loss_and_los(uav, ue)
+    assert perf.counter("raytrace.calls") == before + 1
+    # And it agrees with the two-call path it replaces.
+    np.testing.assert_array_equal(loss, box_channel.path_loss_db(uav, ue))
+    np.testing.assert_array_equal(los, box_channel.is_los(uav, ue))
+
+
+def test_ray_profile_batch_los_consistent_with_obstruction(box_channel):
+    terrain = box_channel.terrain
+    tx = np.array([[50.0, 20.0, 5.0], [50.0, 20.0, 119.0]])
+    ue = np.array([50.0, 80.0, 1.5])  # across the building
+    state = ray_profile_batch(terrain, tx, ue)
+    np.testing.assert_array_equal(state.los, state.obstructed_m <= 0.0)
+    assert not state.los[0]  # grazing ray through the box
+    assert state.obstructed_m[0] > 0.0
+
+
+# -- LRU map cache --------------------------------------------------------------
+
+
+def test_map_cache_hits_on_requery(box_channel):
+    ues = _ues_on(box_channel.terrain, n=3)
+    perf.reset()
+    box_channel.path_loss_maps(ues, 60.0)
+    assert perf.counter("oracle.map_cache.miss") == 3
+    assert perf.counter("oracle.map_cache.hit") == 0
+    box_channel.path_loss_maps(ues, 60.0)
+    assert perf.counter("oracle.map_cache.hit") == 3
+    # A different altitude is a different key.
+    box_channel.path_loss_maps(ues, 80.0)
+    assert perf.counter("oracle.map_cache.miss") == 6
+
+
+def test_map_cache_recomputes_only_moved_ues(box_channel):
+    ues = _ues_on(box_channel.terrain, n=4)
+    first = box_channel.path_loss_maps(ues, 60.0)
+    moved = [u.copy() for u in ues]
+    moved[1] = moved[1] + np.array([8.0, 0.0, 0.0])
+    perf.reset()
+    second = box_channel.path_loss_maps(moved, 60.0)
+    assert perf.counter("oracle.map_cache.hit") == 3
+    assert perf.counter("oracle.map_cache.miss") == 1
+    for i in (0, 2, 3):
+        np.testing.assert_array_equal(second[i], first[i])
+    np.testing.assert_array_equal(
+        second[1], box_channel.path_loss_maps([moved[1]], 60.0, use_cache=False)[0]
+    )
+
+
+def test_map_cache_bounded_lru_eviction(box_terrain):
+    channel = ChannelModel(
+        box_terrain, shadowing_sigma_db=0.0, common_sigma_db=0.0, map_cache_size=2
+    )
+    ues = _ues_on(box_terrain, n=4)
+    perf.reset()
+    channel.path_loss_maps(ues, 60.0)
+    assert len(channel._map_cache) == 2
+    assert perf.counter("oracle.map_cache.evict") == 2
+
+
+def test_fspl_prior_map_cached_and_copy_safe(box_channel, small_grid):
+    ue = np.array([30.0, 30.0, 1.5])
+    perf.reset()
+    a = box_channel.fspl_prior_map(ue, 60.0, small_grid)
+    b = box_channel.fspl_prior_map(ue, 60.0, small_grid)
+    assert perf.counter("oracle.map_cache.hit") == 1
+    np.testing.assert_array_equal(a, b)
+    a[:] = 0.0  # mutating the returned map must not poison the cache
+    np.testing.assert_array_equal(b, box_channel.fspl_prior_map(ue, 60.0, small_grid))
+
+
+# -- shadowing seed handling ----------------------------------------------------
+
+
+def test_shadowing_seed_zero_and_none_differ(small_grid):
+    ue = np.array([10.0, 20.0, 1.5])
+    seeded = ShadowingField.generate(small_grid, seed=0, ue_xyz=ue)
+    unseeded = ShadowingField.generate(small_grid, seed=None, ue_xyz=ue)
+    assert not np.array_equal(seeded.values_db, unseeded.values_db)
+    # Determinism within each spelling is preserved.
+    np.testing.assert_array_equal(
+        seeded.values_db, ShadowingField.generate(small_grid, seed=0, ue_xyz=ue).values_db
+    )
+    np.testing.assert_array_equal(
+        unseeded.values_db,
+        ShadowingField.generate(small_grid, seed=None, ue_xyz=ue).values_db,
+    )
+
+
+# -- altitude-search flight accounting ------------------------------------------
+
+
+def test_altitude_search_distance_matches_flown_time():
+    # The charged search distance must equal the physically flown path:
+    # clock advance x cruise speed.  The seed double-charged the
+    # ceiling-to-optimum leg (analytic descent + repositioning flight).
+    scenario = Scenario.create("campus", n_ues=3, cell_size=4.0, seed=3)
+    ctrl = SkyRANController(
+        scenario.channel, scenario.enodeb, SkyRANConfig(rem_cell_size_m=8.0), seed=1
+    )
+    centroid = np.mean([ue.xyz[:2] for ue in scenario.ues], axis=0)
+    altitude, distance, duration = ctrl._search_altitude(centroid)
+    assert ctrl.config.min_altitude_m <= altitude <= ctrl.config.max_altitude_m
+    assert distance == pytest.approx(duration * ctrl.uav.speed_mps, rel=1e-9)
+    # The UAV physically ends at the altitude it reports.
+    assert float(ctrl.uav.position[2]) == pytest.approx(altitude)
