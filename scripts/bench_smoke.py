@@ -10,7 +10,10 @@ artifact with wall times and :mod:`repro.perf` counters:
    density, no ceiling pruning, per-UE Python loop), and checks the
    two agree to float tolerance.
 2. **Headline experiment** — the paper's abstract claim in quick mode
-   (SkyRAN vs Uniform vs Centroid), timed with perf counters.
+   (SkyRAN vs Uniform vs Centroid), timed with perf counters.  Every
+   scheme is driven through :func:`repro.sim.runner.run_simulation`
+   (via the shared ``run_scheme`` helper), the same entrypoint the
+   chaos smoke uses with faults enabled.
 
 Usage::
 

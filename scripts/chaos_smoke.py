@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Chaos smoke: SkyRAN under fault injection, one command.
+
+Runs the campus scenario twice through
+:func:`repro.sim.runner.run_simulation` — once fault-free, once under a
+moderately hostile :class:`~repro.faults.plan.FaultPlan` (SRS loss, GPS
+blackouts, ToF outliers, wind, SNR drops/corruption) — and checks that
+the degraded run degrades *gracefully*:
+
+* no exception anywhere in the faulted epochs,
+* faults actually fired (``faults.*`` counters are non-zero),
+* worst-UE throughput keeps at least ``--min-degradation`` of its
+  fault-free value after the final epoch.
+
+Counters for every fault fired and every fallback taken are printed,
+and the whole result lands in ``BENCH_chaos.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [--out PATH]
+        [--epochs N] [--min-degradation F] [--seed N]
+
+Exit status is non-zero if the faulted run crashes, fires no faults,
+or degrades beyond the bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import SkyRANConfig  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.sim.runner import run_simulation  # noqa: E402
+from repro.sim.scenario import Scenario  # noqa: E402
+
+#: The storm the smoke flies through.
+CHAOS_PLAN = dict(
+    srs_drop_rate=0.5,
+    srs_delay_rate=0.1,
+    srs_delay_max_s=0.05,
+    gps_blackout_rate_per_s=0.05,
+    gps_blackout_duration_s=2.0,
+    tof_outlier_rate=0.1,
+    wind_speed_mps=1.0,
+    snr_drop_rate=0.3,
+    snr_corrupt_rate=0.1,
+)
+
+
+def _run(faults, epochs: int, seed: int):
+    scenario = Scenario.create("campus", n_ues=3, cell_size=8.0, seed=3)
+    cfg = SkyRANConfig(rem_cell_size_m=16.0, measurement_budget_m=250.0)
+    return run_simulation(
+        scenario,
+        cfg,
+        faults,
+        scheme="skyran",
+        n_epochs=epochs,
+        budget_per_epoch_m=250.0,
+        seed=seed,
+        altitude=60.0,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "artifacts" / "BENCH_chaos.json",
+        help="artifact path (default benchmarks/artifacts/BENCH_chaos.json)",
+    )
+    parser.add_argument("--epochs", type=int, default=2, help="epochs per run")
+    parser.add_argument("--seed", type=int, default=7, help="controller/fault seed")
+    parser.add_argument(
+        "--min-degradation",
+        type=float,
+        default=0.3,
+        help="faulted min-throughput must keep this fraction of fault-free",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    clean = _run(None, args.epochs, args.seed)
+    t_clean = time.perf_counter() - t0
+
+    plan = FaultPlan(seed=args.seed, **CHAOS_PLAN)
+    print(f"[chaos] {plan.describe()}")
+    t0 = time.perf_counter()
+    try:
+        chaos = _run(plan, args.epochs, args.seed)
+    except Exception as exc:  # the one thing chaos must never do
+        print(f"FAIL: faulted run raised {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    t_chaos = time.perf_counter() - t0
+
+    clean_min = clean.final.min_throughput_mbps
+    chaos_min = chaos.final.min_throughput_mbps
+    kept = chaos_min / clean_min if clean_min > 0 else 1.0
+    print(
+        f"[clean] rel {clean.relative_throughput:.3f}, "
+        f"min {clean_min:.2f} Mbps ({t_clean:.1f} s)"
+    )
+    print(
+        f"[chaos] rel {chaos.relative_throughput:.3f}, "
+        f"min {chaos_min:.2f} Mbps = {kept:.0%} of fault-free ({t_chaos:.1f} s)"
+    )
+    print("[chaos] fault counters:")
+    for name, count in chaos.fault_counters.items():
+        print(f"    {name:<28s} {count:>8d}")
+    print("[chaos] fallback counters:")
+    if not chaos.fallback_counters:
+        print("    (none taken)")
+    for name, count in chaos.fallback_counters.items():
+        print(f"    {name:<28s} {count:>8d}")
+
+    payload = {
+        "bench": "chaos_smoke",
+        "plan": plan.describe(),
+        "epochs": args.epochs,
+        "clean": {
+            "relative_throughput": clean.relative_throughput,
+            "min_throughput_mbps": clean_min,
+            "wall_time_s": t_clean,
+        },
+        "chaos": {
+            "relative_throughput": chaos.relative_throughput,
+            "min_throughput_mbps": chaos_min,
+            "wall_time_s": t_chaos,
+            "fault_counters": chaos.fault_counters,
+            "fallback_counters": chaos.fallback_counters,
+        },
+        "min_throughput_kept": kept,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
+    print(f"[artifact] {args.out}")
+
+    if chaos.total_faults == 0:
+        print("FAIL: the chaos plan fired no faults", file=sys.stderr)
+        return 1
+    if kept < args.min_degradation:
+        print(
+            f"FAIL: min throughput kept {kept:.0%} < required "
+            f"{args.min_degradation:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

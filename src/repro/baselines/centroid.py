@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.channel.model import ChannelModel
 from repro.core.config import SkyRANConfig
+from repro.faults.injector import FaultInjector, as_injector
 from repro.flight.sampler import localize_all_ues
+from repro.perf import perf
 from repro.flight.uav import UAV
 from repro.geo.grid import GridSpec
 from repro.geo.points import Point3D
@@ -46,6 +48,7 @@ class CentroidController:
     uav: Optional[UAV] = None
     altitude: float = 60.0
     seed: int = 0
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         terrain_grid = self.channel.terrain.grid
@@ -55,13 +58,20 @@ class CentroidController:
             cx = terrain_grid.origin_x + terrain_grid.width / 2
             cy = terrain_grid.origin_y + terrain_grid.height / 2
             self.uav = UAV(position=np.array([cx, cy, self.altitude]))
+        self.faults = as_injector(self.faults)
         self.rng = np.random.default_rng(self.seed)
         self.estimator = ToFEstimator(
             self.enodeb.srs_config, self.config.tof_upsampling
         )
+        self._last_estimates: Dict[int, np.ndarray] = {}
 
-    def run_epoch(self) -> CentroidEpochResult:
-        """Localization flight, then move to the centroid."""
+    def run_epoch(self, budget_m: Optional[float] = None) -> CentroidEpochResult:
+        """Localization flight, then move to the centroid.
+
+        ``budget_m`` is accepted (so every scheme shares the
+        :func:`~repro.sim.runner.run_epochs` driver) but unused:
+        Centroid flies no measurement trajectory to budget.
+        """
         t_start = self.uav.clock_s
         traj = random_flight(
             self.rem_grid,
@@ -73,7 +83,7 @@ class CentroidController:
         cruise = self.uav.speed_mps
         self.uav.speed_mps = self.config.localization_speed_mps
         try:
-            log = self.uav.fly(traj, self.rng)
+            log = self.uav.fly(traj, self.rng, faults=self.faults)
         finally:
             self.uav.speed_mps = cruise
         distance = log.distance_m
@@ -94,14 +104,29 @@ class CentroidController:
             self.estimator,
             self.rng,
             bounds_xy=bounds,
+            faults=self.faults,
         )
-        estimates: Dict[int, np.ndarray] = {
-            ue.ue_id: joint.per_ue[ue.ue_id].position for ue in ues
-        }
+        estimates: Dict[int, np.ndarray] = {}
+        for ue in ues:
+            result = joint.per_ue.get(ue.ue_id)
+            if result is not None:
+                estimates[ue.ue_id] = result.position
+            elif ue.ue_id in self._last_estimates:
+                # Starved under faults: hover plans fall back to the
+                # last position this UE was seen at.
+                perf.count("fallback.reuse_last_estimate")
+                estimates[ue.ue_id] = self._last_estimates[ue.ue_id]
+        if not estimates:
+            # Nothing localizable at all this epoch: hold position.
+            perf.count("fallback.blind_estimate")
+            estimates = {
+                ue.ue_id: np.asarray(self.uav.position, dtype=float) for ue in ues
+            }
+        self._last_estimates.update(estimates)
 
         centroid = np.mean([p[:2] for p in estimates.values()], axis=0)
         position = Point3D(float(centroid[0]), float(centroid[1]), self.altitude)
-        move_log = self.uav.goto(position.as_array(), self.rng)
+        move_log = self.uav.goto(position.as_array(), self.rng, faults=self.faults)
         distance += move_log.distance_m
         return CentroidEpochResult(
             position=position,

@@ -18,6 +18,7 @@ import numpy as np
 from repro.channel.model import ChannelModel
 from repro.core.config import SkyRANConfig
 from repro.core.placement import PlacementResult, max_min_placement
+from repro.faults.injector import FaultInjector, as_injector
 from repro.flight.sampler import collect_snr_samples
 from repro.flight.uav import UAV
 from repro.geo.grid import GridSpec
@@ -59,6 +60,7 @@ class UniformController:
     #: it has no basis to trade density for reach.
     row_spacing_m: float = 15.0
     seed: int = 0
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         terrain_grid = self.channel.terrain.grid
@@ -78,6 +80,7 @@ class UniformController:
             # sensible fixed altitude (benches pass SkyRAN's altitude
             # for a like-for-like comparison).
             self.altitude = 60.0
+        self.faults = as_injector(self.faults)
         self.rng = np.random.default_rng(self.seed)
         self._rems: Dict[int, REM] = {}
         self._epoch = 0
@@ -115,7 +118,7 @@ class UniformController:
         traj = zigzag_trajectory(
             self.rem_grid, spacing, self.altitude, row_offset_m=offset
         ).truncated(budget)
-        log = self.uav.fly(traj, self.rng)
+        log = self.uav.fly(traj, self.rng, faults=self.faults)
         distance = log.distance_m
 
         for ue in self.enodeb.connected_ues():
@@ -125,11 +128,18 @@ class UniformController:
                 # position that Uniform does not have.
                 rem = REM(self.rem_grid, ue.xyz * np.nan, self.altitude, prior=None)
                 self._rems[ue.ue_id] = rem
-            xy, snr = collect_snr_samples(log, ue, self.channel, self.rng)
-            rem.add_measurements(xy, snr)
+            xy, snr = collect_snr_samples(
+                log, ue, self.channel, self.rng, faults=self.faults
+            )
+            if len(snr):
+                rem.add_measurements(xy, snr)
 
         maps = {
-            ue_id: rem.interpolated(self.config.idw_power, self.config.idw_neighbors)
+            ue_id: rem.interpolated(
+                self.config.idw_power,
+                self.config.idw_neighbors,
+                method=self.config.interpolator,
+            )
             for ue_id, rem in sorted(self._rems.items())
         }
         # Same uncertainty discount as SkyRAN's placement (fairness:
@@ -139,7 +149,7 @@ class UniformController:
             for ue_id in sorted(maps)
         ]
         placement = max_min_placement(self.rem_grid, placement_maps, self.altitude)
-        move_log = self.uav.goto(placement.position.as_array(), self.rng)
+        move_log = self.uav.goto(placement.position.as_array(), self.rng, faults=self.faults)
         distance += move_log.distance_m
         return UniformEpochResult(
             placement=placement,

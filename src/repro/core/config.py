@@ -1,15 +1,20 @@
 """SkyRAN configuration.
 
 One dataclass holding every operational knob the paper exposes, with
-the paper's values as defaults (Sections 3-4).
+the paper's values as defaults (Sections 3-4).  Construction is
+keyword-only and validated: a misconfigured run — negative rates,
+inverted altitude bounds, an interpolator name nothing registered —
+fails at config time with a clear message, not hours into a sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.rem.interpolate import available_interpolators
 
-@dataclass
+
+@dataclass(kw_only=True)
 class SkyRANConfig:
     """Operational parameters of a SkyRAN UAV.
 
@@ -54,10 +59,15 @@ class SkyRANConfig:
         Gradient threshold quantile (0.5 = paper's median).
     tof_upsampling:
         SRS correlation upsampling ``K`` (4 in the paper).
+    interpolator:
+        Registered REM interpolation scheme (``"idw"`` — the paper's
+        choice — or ``"kriging"``); validated against
+        :func:`repro.rem.interpolate.available_interpolators`.
     idw_power:
         IDW distance exponent (2 = paper's squared inverse distance).
     idw_neighbors:
-        Measured cells contributing to each interpolated cell.
+        Measured cells contributing to each interpolated cell (any
+        interpolation scheme).
     sample_spacing_m:
         Probe-point spacing when sampling trajectories.
     uncertainty_penalty_db_per_m / uncertainty_penalty_cap_db:
@@ -68,6 +78,27 @@ class SkyRANConfig:
         optimistic on average, and an argmax *selects for* optimistic
         errors; the discount keeps placement honest.  Set the rate to
         0 to recover the paper's plain max-min placement.
+    epoch_debounce:
+        Consecutive below-margin throughput samples required before the
+        epoch trigger fires (1 = the paper's instant trigger).  Under
+        fault injection a single corrupted KPI sample can look like a
+        real degradation; debouncing keeps transient faults from
+        thrashing epochs.
+    localization_max_retries:
+        Degraded-mode fallback: how many times the controller may
+        re-fly the localization leg when the joint solve comes back
+        starved or with blown-up residuals (only engaged when a fault
+        injector is wired in).
+    localization_residual_limit_m:
+        Per-UE residual RMS above which an estimate is considered
+        untrustworthy and the last-good estimate is preferred.
+    min_inlier_fraction:
+        Per-UE inlier fraction below which an estimate is considered
+        untrustworthy.
+    tof_quality_floor:
+        Correlation peak-to-background ratio below which an SRS
+        reception is discarded during chaos runs (0 disables the gate;
+        it is never applied in fault-free runs).
     """
 
     localization_flight_m: float = 30.0
@@ -84,20 +115,51 @@ class SkyRANConfig:
     k_max: int = 10
     gradient_quantile: float = 0.5
     tof_upsampling: int = 4
+    interpolator: str = "idw"
     idw_power: float = 2.0
     idw_neighbors: int = 12
     sample_spacing_m: float = 1.0
     uncertainty_penalty_db_per_m: float = 0.1
     uncertainty_penalty_cap_db: float = 6.0
+    epoch_debounce: int = 1
+    localization_max_retries: int = 1
+    localization_residual_limit_m: float = 60.0
+    min_inlier_fraction: float = 0.35
+    tof_quality_floor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.localization_flight_m <= 0:
             raise ValueError("localization_flight_m must be positive")
+        if self.localization_speed_mps <= 0:
+            raise ValueError("localization_speed_mps must be positive")
         if not 0 < self.min_altitude_m <= self.max_altitude_m:
             raise ValueError("need 0 < min_altitude_m <= max_altitude_m")
         if self.altitude_step_m <= 0:
             raise ValueError("altitude_step_m must be positive")
+        if self.measurement_budget_m <= 0:
+            raise ValueError("measurement_budget_m must be positive")
+        if self.rem_cell_size_m <= 0:
+            raise ValueError("rem_cell_size_m must be positive")
         if not 0.0 < self.epoch_margin < 1.0:
             raise ValueError("epoch_margin must be in (0, 1)")
         if self.reuse_radius_m < 0:
             raise ValueError("reuse_radius_m must be >= 0")
+        if self.interpolator not in available_interpolators():
+            known = ", ".join(available_interpolators())
+            raise ValueError(
+                f"unknown interpolator {self.interpolator!r} (known: {known})"
+            )
+        if self.idw_power <= 0:
+            raise ValueError("idw_power must be positive")
+        if self.idw_neighbors < 1:
+            raise ValueError("idw_neighbors must be >= 1")
+        if self.epoch_debounce < 1:
+            raise ValueError("epoch_debounce must be >= 1")
+        if self.localization_max_retries < 0:
+            raise ValueError("localization_max_retries must be >= 0")
+        if self.localization_residual_limit_m <= 0:
+            raise ValueError("localization_residual_limit_m must be positive")
+        if not 0.0 <= self.min_inlier_fraction <= 1.0:
+            raise ValueError("min_inlier_fraction must be in [0, 1]")
+        if self.tof_quality_floor < 0:
+            raise ValueError("tof_quality_floor must be >= 0")

@@ -24,6 +24,7 @@ from repro.core.placement import (
     max_min_placement,
 )
 from repro.core.rem_store import REMStore
+from repro.faults.injector import FaultInjector, as_injector
 from repro.flight.energy import EnergyBudget
 from repro.flight.sampler import collect_snr_samples, localize_all_ues
 from repro.flight.uav import UAV
@@ -33,6 +34,8 @@ from repro.lte.throughput import throughput_mbps
 from repro.localization.calibration import OffsetCalibrator
 from repro.lte.tof import ToFEstimator
 from repro.lte.ue import UE
+from repro.perf import perf
+from repro.rem.interpolate import make_interpolator
 from repro.trajectory.information import TrajectoryHistory
 from repro.trajectory.random_flight import random_flight
 from repro.trajectory.skyran import PlanResult, SkyRANPlanner
@@ -95,6 +98,13 @@ class SkyRANController:
         the FAA ceiling.
     seed:
         Seed for all controller-side randomness.
+    faults:
+        Optional fault injector (a :class:`~repro.faults.plan.FaultPlan`
+        is accepted and wrapped).  When wired in, measurements pass
+        through its injection points and the degraded-mode fallbacks
+        (localization retry, last-good reuse, blind seeding) arm; when
+        None the controller behaves bit-identically to a fault-free
+        build.
     """
 
     channel: ChannelModel
@@ -103,6 +113,7 @@ class SkyRANController:
     rem_grid: Optional[GridSpec] = None
     uav: Optional[UAV] = None
     seed: int = 0
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         terrain_grid = self.channel.terrain.grid
@@ -113,6 +124,7 @@ class SkyRANController:
             cx = terrain_grid.origin_x + terrain_grid.width / 2
             cy = terrain_grid.origin_y + terrain_grid.height / 2
             self.uav = UAV(position=np.array([cx, cy, self.config.max_altitude_m]))
+        self.faults = as_injector(self.faults)
         self.rng = np.random.default_rng(self.seed)
         self.estimator = ToFEstimator(self.enodeb.srs_config, self.config.tof_upsampling)
         self.planner = SkyRANPlanner(
@@ -123,19 +135,39 @@ class SkyRANController:
         )
         self.history = TrajectoryHistory(reuse_radius_m=self.config.reuse_radius_m)
         self.rem_store = REMStore(self.rem_grid, self.config.reuse_radius_m)
-        self.trigger = EpochTrigger(self.config.epoch_margin)
+        self.trigger = EpochTrigger(
+            self.config.epoch_margin, debounce=self.config.epoch_debounce
+        )
+        self.interpolator = make_interpolator(
+            self.config.interpolator,
+            power=self.config.idw_power,
+            k_neighbors=self.config.idw_neighbors,
+        )
         self.altitude: Optional[float] = None
         self.epoch_index = 0
         self._last_estimates: Dict[int, np.ndarray] = {}
         self.offset_calibrator = OffsetCalibrator()
 
+    @property
+    def _chaos(self) -> bool:
+        """True when an *active* fault injector is wired in.
+
+        Every degraded-mode behaviour change gates on this, so
+        fault-free runs stay bit-identical to a build without the
+        fault subsystem.
+        """
+        return self.faults is not None and self.faults.active
+
     # -- building blocks -----------------------------------------------------------
 
-    def _localization_flight(self) -> tuple:
-        """Fly the short random flight and localize every UE from it.
+    def _fly_localization_leg(self) -> tuple:
+        """One localization flight + joint solve.
 
         Flown at the (lower) localization altitude for better ranging
-        geometry; the descent is part of the epoch's overhead.
+        geometry; the descent is part of the epoch's overhead.  Returns
+        ``(estimates, errors, trusted_ids, distance, duration)`` —
+        ``trusted_ids`` is the set of UEs whose fresh solve passed the
+        degraded-mode quality gates (all of them in fault-free runs).
         """
         extra_distance = 0.0
         loc_alt = self.config.localization_altitude_m
@@ -150,7 +182,7 @@ class SkyRANController:
             cx, cy = self.uav.position[0], self.uav.position[1]
         target = np.array([cx, cy, loc_alt])
         if np.linalg.norm(self.uav.position - target) > 1.0:
-            move = self.uav.goto(target, self.rng)
+            move = self.uav.goto(target, self.rng, faults=self.faults)
             extra_distance += move.distance_m
         traj = random_flight(
             self.rem_grid,
@@ -162,7 +194,7 @@ class SkyRANController:
         cruise = self.uav.speed_mps
         self.uav.speed_mps = self.config.localization_speed_mps
         try:
-            log = self.uav.fly(traj, self.rng)
+            log = self.uav.fly(traj, self.rng, faults=self.faults)
         finally:
             self.uav.speed_mps = cruise
         ues = self.enodeb.connected_ues()
@@ -171,6 +203,9 @@ class SkyRANController:
             (self.rem_grid.origin_x - margin, self.rem_grid.max_x + margin),
             (self.rem_grid.origin_y - margin, self.rem_grid.max_y + margin),
         )
+        min_quality = None
+        if self._chaos and self.config.tof_quality_floor > 0:
+            min_quality = self.config.tof_quality_floor
         joint = localize_all_ues(
             log,
             ues,
@@ -180,14 +215,21 @@ class SkyRANController:
             self.rng,
             bounds_xy=bounds,
             offset_prior=self.offset_calibrator.prior(),
+            faults=self.faults,
+            min_quality=min_quality,
         )
         # The offset is a chain constant: feed this epoch's estimate
-        # back into the running calibration for the next epoch.
-        self.offset_calibrator.update(joint.offset_m)
+        # back into the running calibration for the next epoch — but a
+        # starved chaos solve has no offset information to feed.
+        if joint.per_ue or not self._chaos:
+            self.offset_calibrator.update(joint.offset_m)
         estimates: Dict[int, np.ndarray] = {}
         errors: Dict[int, float] = {}
+        trusted: set = set()
         for ue in ues:
-            result = joint.per_ue[ue.ue_id]
+            result = joint.per_ue.get(ue.ue_id)
+            if result is None:
+                continue  # starved under faults; wrapper falls back
             estimates[ue.ue_id] = result.position
             errors[ue.ue_id] = float(
                 np.hypot(
@@ -195,7 +237,75 @@ class SkyRANController:
                     result.position[1] - ue.position.y,
                 )
             )
-        return estimates, errors, extra_distance + log.distance_m, log.duration_s
+            if not self._chaos:
+                trusted.add(ue.ue_id)
+            elif (
+                result.residual_rms_m <= self.config.localization_residual_limit_m
+                and result.inlier_fraction >= self.config.min_inlier_fraction
+            ):
+                trusted.add(ue.ue_id)
+        return estimates, errors, trusted, extra_distance + log.distance_m, log.duration_s
+
+    def _blind_estimate(self) -> np.ndarray:
+        """Positionless fallback: the operating-area center at UE height.
+
+        Only used when a UE has never been localized and the current
+        flight produced nothing for it either.
+        """
+        cx = self.rem_grid.origin_x + self.rem_grid.width / 2
+        cy = self.rem_grid.origin_y + self.rem_grid.height / 2
+        return np.array([cx, cy, 1.5])
+
+    def _localization_flight(self) -> tuple:
+        """Steps 1-4 with degraded-mode hardening (chaos runs only).
+
+        Fault-free, this is exactly one leg.  Under an active injector:
+        if a leg leaves any UE without a *trusted* fresh estimate, the
+        leg is re-flown up to ``config.localization_max_retries`` times
+        (``fallback.localization_retry``); whatever is still missing or
+        untrusted after that falls back to the last-good estimate
+        (``fallback.reuse_last_estimate``) or, with no history, a blind
+        area-center seed (``fallback.blind_estimate``).
+        """
+        estimates, errors, trusted, distance, duration = self._fly_localization_leg()
+        if not self._chaos:
+            return estimates, errors, distance, duration
+        ues = self.enodeb.connected_ues()
+        retries = 0
+        while (
+            len(trusted) < len(ues)
+            and retries < self.config.localization_max_retries
+        ):
+            retries += 1
+            perf.count("fallback.localization_retry")
+            est2, err2, trusted2, d2, t2 = self._fly_localization_leg()
+            distance += d2
+            duration += t2
+            # A fresh trusted solve beats anything; a fresh untrusted
+            # one only fills holes.
+            for ue_id, pos in est2.items():
+                if ue_id in trusted2 or ue_id not in estimates:
+                    estimates[ue_id] = pos
+                    errors[ue_id] = err2[ue_id]
+            trusted |= trusted2
+        for ue in ues:
+            if ue.ue_id in trusted:
+                continue
+            if ue.ue_id in estimates and ue.ue_id not in self._last_estimates:
+                continue  # untrusted but fresh, and nothing better exists
+            if ue.ue_id in self._last_estimates:
+                perf.count("fallback.reuse_last_estimate")
+                estimates[ue.ue_id] = self._last_estimates[ue.ue_id]
+            else:
+                perf.count("fallback.blind_estimate")
+                estimates[ue.ue_id] = self._blind_estimate()
+            errors[ue.ue_id] = float(
+                np.hypot(
+                    estimates[ue.ue_id][0] - ue.position.x,
+                    estimates[ue.ue_id][1] - ue.position.y,
+                )
+            )
+        return estimates, errors, distance, duration
 
     def _search_altitude(self, centroid_xy: np.ndarray) -> tuple:
         """First-epoch altitude search above the estimated UE centroid.
@@ -213,7 +323,7 @@ class SkyRANController:
         start_clock_s = self.uav.clock_s
 
         top = np.array([centroid_xy[0], centroid_xy[1], self.config.max_altitude_m])
-        distance = self.uav.goto(top, self.rng).distance_m
+        distance = self.uav.goto(top, self.rng, faults=self.faults).distance_m
 
         # Each probe averages ~1 s of 100 Hz PHY reports, so the
         # residual probe noise is small.
@@ -223,7 +333,7 @@ class SkyRANController:
             pos = np.array([centroid_xy[0], centroid_xy[1], alt])
             nonlocal distance
             if abs(float(self.uav.position[2]) - alt) > 1e-9:
-                distance += self.uav.goto(pos, self.rng).distance_m
+                distance += self.uav.goto(pos, self.rng, faults=self.faults).distance_m
             losses = [
                 float(self.channel.path_loss_db(pos, ue.xyz)) for ue in ues
             ]
@@ -237,7 +347,9 @@ class SkyRANController:
         )
         # Climb back from wherever the search stopped to the optimum.
         log2 = self.uav.goto(
-            np.array([centroid_xy[0], centroid_xy[1], altitude]), self.rng
+            np.array([centroid_xy[0], centroid_xy[1], altitude]),
+            self.rng,
+            faults=self.faults,
         )
         distance += log2.distance_m
         duration = self.uav.clock_s - start_clock_s
@@ -320,8 +432,7 @@ class SkyRANController:
 
         # Step 6: plan the measurement trajectory.
         current_maps = [
-            rems[k].interpolated(self.config.idw_power, self.config.idw_neighbors)
-            for k in sorted(rems)
+            rems[k].interpolated(method=self.interpolator) for k in sorted(rems)
         ]
         plan = self.planner.plan(
             self.rem_grid,
@@ -334,20 +445,29 @@ class SkyRANController:
         )
 
         # Step 7: fly it, measure, update each UE's REM.
-        log = self.uav.fly(plan.trajectory, self.rng)
+        log = self.uav.fly(plan.trajectory, self.rng, faults=self.faults)
         total_distance += log.distance_m
         for ue in self.enodeb.connected_ues():
-            xy, snr = collect_snr_samples(log, ue, self.channel, self.rng)
-            rems[ue.ue_id].add_measurements(xy, snr)
+            if ue.ue_id not in rems:
+                continue
+            before = rems[ue.ue_id].n_measured_cells
+            xy, snr = collect_snr_samples(
+                log, ue, self.channel, self.rng, faults=self.faults
+            )
+            if len(snr):
+                rems[ue.ue_id].add_measurements(xy, snr)
+            if self._chaos and rems[ue.ue_id].n_measured_cells == before:
+                # The flight fed this map nothing (all samples dropped
+                # or unbinnable); serve from whatever it already holds
+                # — reused/prior cells — instead of failing the epoch.
+                perf.count("fallback.rem_starved")
         for ue_id in sorted(rems):
             self.history.record(estimates[ue_id], plan.trajectory)
             self.rem_store.commit(rems[ue_id])
 
         # Step 8: max-min placement and reposition.
         final_maps = {
-            ue_id: rems[ue_id].interpolated(
-                self.config.idw_power, self.config.idw_neighbors
-            )
+            ue_id: rems[ue_id].interpolated(method=self.interpolator)
             for ue_id in sorted(rems)
         }
         placement_maps = [
@@ -355,7 +475,7 @@ class SkyRANController:
             for ue_id in sorted(rems)
         ]
         placement = max_min_placement(self.rem_grid, placement_maps, self.altitude)
-        move_log = self.uav.goto(placement.position.as_array(), self.rng)
+        move_log = self.uav.goto(placement.position.as_array(), self.rng, faults=self.faults)
         total_distance += move_log.distance_m
 
         # Arm the epoch trigger with the achieved aggregate throughput.

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.perf import perf
+
 
 @dataclass
 class EpochTrigger:
@@ -22,6 +24,11 @@ class EpochTrigger:
     ----------
     margin:
         Tolerated fractional drop (0.1 = re-plan on a 10% drop).
+    debounce:
+        Consecutive breaching samples required before the trigger
+        fires.  1 reproduces the paper's instant trigger; higher values
+        are the degraded-mode defence against transiently corrupted
+        KPI samples re-triggering (and re-paying for) epochs.
     reference:
         Aggregate performance recorded right after placement.
     history:
@@ -30,12 +37,16 @@ class EpochTrigger:
     """
 
     margin: float = 0.1
+    debounce: int = 1
     reference: Optional[float] = None
     history: List[tuple] = field(default_factory=list)
+    _breach_streak: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.margin < 1.0:
             raise ValueError(f"margin must be in (0, 1), got {self.margin}")
+        if self.debounce < 1:
+            raise ValueError(f"debounce must be >= 1, got {self.debounce}")
 
     def reset(self, reference: float) -> None:
         """Start a new epoch with a fresh performance reference."""
@@ -43,11 +54,14 @@ class EpochTrigger:
             raise ValueError(f"reference must be >= 0, got {reference}")
         self.reference = reference
         self.history = []
+        self._breach_streak = 0
 
     def update(self, value: float, t_s: float = 0.0) -> bool:
         """Record a performance sample; True means trigger a new epoch.
 
-        With no reference yet (cold start), any sample triggers.
+        With no reference yet (cold start), any sample triggers.  A
+        breach only fires after ``debounce`` consecutive breaching
+        samples; suppressed breaches bump ``fallback.epoch_debounced``.
         """
         self.history.append((t_s, value))
         if self.reference is None:
@@ -55,4 +69,12 @@ class EpochTrigger:
         if self.reference <= 0:
             # A dead reference epoch can only improve: re-plan.
             return True
-        return value < (1.0 - self.margin) * self.reference
+        breach = value < (1.0 - self.margin) * self.reference
+        if not breach:
+            self._breach_streak = 0
+            return False
+        self._breach_streak += 1
+        if self._breach_streak < self.debounce:
+            perf.count("fallback.epoch_debounced")
+            return False
+        return True

@@ -24,8 +24,7 @@ from repro.experiments.placement_common import fresh_scenario, run_scheme
 from repro.lte.srs import apply_channel, make_srs_symbol
 from repro.lte.tof import ToFEstimator
 from repro.rem.accuracy import median_abs_error_db
-from repro.rem.idw import idw_interpolate
-from repro.rem.kriging import kriging_interpolate
+from repro.rem.interpolate import available_interpolators, make_interpolator
 from repro.sim.runner import run_epochs
 
 
@@ -55,7 +54,13 @@ def ablation_upsampling(quick: bool = True, seed: int = 0) -> Dict:
 
 
 def ablation_interpolation(quick: bool = True, seed: int = 0) -> Dict:
-    """REM error for different interpolators on the same measurements."""
+    """REM error for different interpolators on the same measurements.
+
+    Variants are resolved through the interpolator registry (the same
+    path :class:`~repro.core.config.SkyRANConfig` uses), and any scheme
+    registered beyond the named variants is swept at its defaults — a
+    new interpolator joins this ablation just by registering.
+    """
     scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
     grid = scenario.grid.coarsen(2)
     truth = scenario.truth_maps(60.0, grid)[0]
@@ -64,23 +69,25 @@ def ablation_interpolation(quick: bool = True, seed: int = 0) -> Dict:
     values = np.full(grid.shape, np.nan)
     idx = rng.choice(grid.num_cells, size=max(4, grid.num_cells // 25), replace=False)
     values.flat[idx] = truth.flat[idx]
+    variants = [
+        ("nearest", "idw", {"power": 2.0, "k_neighbors": 1}),
+        ("idw-p1-k12", "idw", {"power": 1.0, "k_neighbors": 12}),
+        ("idw-p2-k12 (paper)", "idw", {"power": 2.0, "k_neighbors": 12}),
+        ("idw-p3-k12", "idw", {"power": 3.0, "k_neighbors": 12}),
+        ("idw-p2-k4", "idw", {"power": 2.0, "k_neighbors": 4}),
+        # The footnote-3 alternative the paper declined: ordinary kriging.
+        ("kriging-k12", "kriging", {"k_neighbors": 12}),
+    ]
+    named = {name for _, name, _ in variants}
+    variants += [
+        (name, name, {}) for name in available_interpolators() if name not in named
+    ]
     rows = []
-    for label, power, k in (
-        ("nearest", 2.0, 1),
-        ("idw-p1-k12", 1.0, 12),
-        ("idw-p2-k12 (paper)", 2.0, 12),
-        ("idw-p3-k12", 3.0, 12),
-        ("idw-p2-k4", 2.0, 4),
-    ):
-        est = idw_interpolate(grid, values, power=power, k_neighbors=k)
+    for label, name, params in variants:
+        est = make_interpolator(name, **params).interpolate(grid, values)
         rows.append(
             {"interp": label, "median_err_db": median_abs_error_db(est, truth)}
         )
-    # The footnote-3 alternative the paper declined: ordinary kriging.
-    krig = kriging_interpolate(grid, values, k_neighbors=12)
-    rows.append(
-        {"interp": "kriging-k12", "median_err_db": median_abs_error_db(krig, truth)}
-    )
     return {
         "rows": rows,
         "paper": "IDW with inverse-square weights; kriging/GPR buys only marginal gains",

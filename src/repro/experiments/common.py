@@ -64,11 +64,22 @@ def config_for(quick: bool = True, **overrides) -> SkyRANConfig:
 
 
 def skyran_for(
-    scenario: Scenario, seed: int = 0, quick: bool = True, **config_overrides
+    scenario: Scenario,
+    seed: int = 0,
+    quick: bool = True,
+    faults=None,
+    **config_overrides,
 ) -> SkyRANController:
-    """SkyRAN controller bound to a scenario."""
+    """SkyRAN controller bound to a scenario.
+
+    Prefer :func:`repro.sim.runner.run_simulation` for whole runs; the
+    ``*_for`` constructors remain for experiments that drive epochs by
+    hand.  ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan`.
+    """
     cfg = config_for(quick, **config_overrides)
-    return SkyRANController(scenario.channel, scenario.enodeb, cfg, seed=seed)
+    return SkyRANController(
+        scenario.channel, scenario.enodeb, cfg, seed=seed, faults=faults
+    )
 
 
 def uniform_for(
@@ -76,12 +87,13 @@ def uniform_for(
     altitude: float,
     seed: int = 0,
     quick: bool = True,
+    faults=None,
     **config_overrides,
 ) -> UniformController:
     """Uniform baseline bound to a scenario at a fixed altitude."""
     cfg = config_for(quick, **config_overrides)
     return UniformController(
-        scenario.channel, scenario.enodeb, cfg, altitude=altitude, seed=seed
+        scenario.channel, scenario.enodeb, cfg, altitude=altitude, seed=seed, faults=faults
     )
 
 
@@ -90,12 +102,13 @@ def centroid_for(
     altitude: float,
     seed: int = 0,
     quick: bool = True,
+    faults=None,
     **config_overrides,
 ) -> CentroidController:
     """Centroid baseline bound to a scenario at a fixed altitude."""
     cfg = config_for(quick, **config_overrides)
     return CentroidController(
-        scenario.channel, scenario.enodeb, cfg, altitude=altitude, seed=seed
+        scenario.channel, scenario.enodeb, cfg, altitude=altitude, seed=seed, faults=faults
     )
 
 

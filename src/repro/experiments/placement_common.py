@@ -6,13 +6,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.experiments.common import (
-    centroid_for,
-    scenario_for,
-    skyran_for,
-    uniform_for,
-)
-from repro.sim.metrics import median_rem_error
+from repro.experiments.common import config_for, scenario_for
+from repro.sim.runner import run_simulation
 
 #: Fixed operating altitude for the testbed-style comparisons, so all
 #: schemes are scored on the same horizontal placement problem (the
@@ -27,54 +22,34 @@ def run_scheme(
     seed: int = 0,
     quick: bool = True,
     altitude: Optional[float] = TESTBED_ALTITUDE_M,
+    faults=None,
 ) -> Dict:
     """One epoch of a scheme at a budget; relative throughput + REM error.
 
     ``altitude=None`` lets SkyRAN run its own altitude search; a float
-    pins every scheme to that altitude.
+    pins every scheme to that altitude.  All construction and
+    evaluation goes through :func:`repro.sim.runner.run_simulation`,
+    which is also where ``faults`` (an optional
+    :class:`~repro.faults.plan.FaultPlan`) is wired in.
     """
-    if scheme == "skyran":
-        ctrl = skyran_for(scenario, seed=seed, quick=quick)
-        if altitude is not None:
-            ctrl.altitude = float(altitude)
-        result = ctrl.run_epoch(budget_m=budget_m)
-        pos = result.placement.position
-        rem_maps = result.rem_maps
-        rem_grid = ctrl.rem_grid
-        time_s = result.flight_time_s
-        alt = result.altitude_m
-    elif scheme == "uniform":
-        alt = float(altitude if altitude is not None else TESTBED_ALTITUDE_M)
-        ctrl = uniform_for(scenario, altitude=alt, seed=seed, quick=quick)
-        result = ctrl.run_epoch(budget_m=budget_m)
-        pos = result.placement.position
-        rem_maps = result.rem_maps
-        rem_grid = ctrl.rem_grid
-        time_s = result.flight_time_s
-    elif scheme == "centroid":
-        alt = float(altitude if altitude is not None else TESTBED_ALTITUDE_M)
-        ctrl = centroid_for(scenario, altitude=alt, seed=seed, quick=quick)
-        result = ctrl.run_epoch()
-        pos = result.position
-        rem_maps = None
-        rem_grid = None
-        time_s = result.flight_time_s
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-
-    rel = scenario.relative_throughput(pos)
-    if rem_maps:
-        truth = scenario.truth_maps(float(pos.z), rem_grid)
-        rem_err = median_rem_error(rem_maps, truth, ue_order=sorted(rem_maps))
-    else:
-        rem_err = float("nan")
+    out = run_simulation(
+        scenario,
+        config_for(quick),
+        faults,
+        scheme=scheme,
+        n_epochs=1,
+        budget_per_epoch_m=budget_m,
+        seed=seed,
+        altitude=altitude,
+    )
+    rec = out.final
     return {
         "scheme": scheme,
         "budget_m": budget_m,
-        "relative_throughput": rel,
-        "rem_error_db": rem_err,
-        "flight_time_s": time_s,
-        "altitude_m": float(pos.z),
+        "relative_throughput": rec.relative_throughput,
+        "rem_error_db": rec.rem_error_db,
+        "flight_time_s": rec.flight_time_s,
+        "altitude_m": rec.altitude_m,
     }
 
 

@@ -1,0 +1,17 @@
+"""Fault injection for chaos runs.
+
+The paper's premise is self-organization under imperfect measurements;
+this package makes the imperfections first-class.  A seeded
+:class:`FaultPlan` declares which failure modes fire (SRS drops/delays,
+GPS blackouts, ToF outliers, wind drift, SNR corruption) and a
+:class:`FaultInjector` executes it deterministically at the
+measurement-pipeline injection points.  Pass a plan to
+:func:`repro.sim.runner.run_simulation` to turn any scenario into a
+chaos run; ``faults.*`` / ``fallback.*`` perf counters record what
+fired and how the controller coped.
+"""
+
+from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "as_injector"]

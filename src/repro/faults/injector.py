@@ -1,0 +1,182 @@
+"""Runtime fault injection.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete per-sample decisions at the measurement-pipeline
+injection points (:mod:`repro.flight.uav`, :mod:`repro.flight.sampler`).
+Each fault channel owns an independent RNG stream spawned from the
+plan's seed, so
+
+* the same plan reproduces the same faults bit-for-bit, and
+* turning one channel up or down never changes what another fires.
+
+Every fault that fires bumps a ``faults.*`` counter in
+:data:`repro.perf.perf`, so a chaos run's injected failures are
+observable next to the ``fallback.*`` counters of the mitigations they
+triggered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.perf import perf
+
+#: Spawn order of the per-channel RNG streams (stable across versions:
+#: appending a new channel must not reshuffle existing streams).
+_CHANNELS = ("srs", "gps", "tof", "wind", "snr")
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the injection points.
+
+    One injector should live for exactly one run; its RNG streams
+    advance as the run consumes faults, which is what makes a rerun
+    with a fresh injector (same plan) bit-identical.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        streams = np.random.SeedSequence(plan.seed).spawn(len(_CHANNELS))
+        self._rng = {
+            name: np.random.default_rng(stream)
+            for name, stream in zip(_CHANNELS, streams)
+        }
+
+    @property
+    def active(self) -> bool:
+        return self.plan.active
+
+    # -- SRS bursts (localization flights) ---------------------------------------
+
+    def srs_faults(self, times_s: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Drop/delay SRS bursts scheduled at ``times_s``.
+
+        Returns ``(keep_mask, times)`` — the boolean mask of surviving
+        bursts and their (possibly delayed) delivery timestamps.
+        """
+        times = np.asarray(times_s, dtype=float)
+        keep = np.ones(len(times), dtype=bool)
+        if not self.plan.srs_active:
+            return keep, times
+        rng = self._rng["srs"]
+        out = times.copy()
+        if self.plan.srs_drop_rate > 0:
+            keep = rng.random(len(times)) >= self.plan.srs_drop_rate
+            dropped = int(len(times) - keep.sum())
+            if dropped:
+                perf.count("faults.srs_dropped", dropped)
+        if self.plan.srs_delay_rate > 0:
+            late = rng.random(len(times)) < self.plan.srs_delay_rate
+            delays = rng.uniform(0.0, self.plan.srs_delay_max_s, len(times))
+            late &= keep
+            out = out + np.where(late, delays, 0.0)
+            if late.any():
+                perf.count("faults.srs_delayed", int(late.sum()))
+        return keep, out
+
+    # -- GPS fixes ----------------------------------------------------------------
+
+    def gps_blackout_mask(self, times_s: np.ndarray) -> np.ndarray:
+        """True where a GPS fix falls inside a blackout window.
+
+        Windows are drawn per flight: onset count is Poisson in the
+        flight duration, onsets uniform over it.
+        """
+        times = np.asarray(times_s, dtype=float)
+        mask = np.zeros(len(times), dtype=bool)
+        if not self.plan.gps_active or len(times) == 0:
+            return mask
+        rng = self._rng["gps"]
+        duration = float(times[-1] - times[0])
+        n_windows = int(rng.poisson(self.plan.gps_blackout_rate_per_s * max(duration, 0.0)))
+        for _ in range(n_windows):
+            start = times[0] + rng.uniform(0.0, max(duration, 1e-9))
+            mask |= (times >= start) & (times < start + self.plan.gps_blackout_duration_s)
+        if n_windows:
+            perf.count("faults.gps_blackout_window", n_windows)
+        if mask.any():
+            perf.count("faults.gps_blackout_fix", int(mask.sum()))
+        return mask
+
+    # -- ToF ranges ---------------------------------------------------------------
+
+    def tof_outliers(self, ranges_m: np.ndarray) -> np.ndarray:
+        """Replace a random subset of ranges with late multipath spikes."""
+        ranges = np.asarray(ranges_m, dtype=float)
+        if not self.plan.tof_active or len(ranges) == 0:
+            return ranges
+        rng = self._rng["tof"]
+        hit = rng.random(len(ranges)) < self.plan.tof_outlier_rate
+        if not hit.any():
+            return ranges
+        # Multipath only ever *adds* delay: exponential positive spikes.
+        spikes = rng.exponential(self.plan.tof_outlier_bias_m, len(ranges))
+        perf.count("faults.tof_outlier", int(hit.sum()))
+        return ranges + np.where(hit, spikes, 0.0)
+
+    # -- wind drift ---------------------------------------------------------------
+
+    def wind_offsets(self, times_s: np.ndarray) -> Optional[np.ndarray]:
+        """``(n, 3)`` drift of the true track over one flight, or None.
+
+        A steady push: offset grows linearly with time into the
+        flight.  Direction is the plan's, or drawn fresh per flight.
+        """
+        if not self.plan.wind_active:
+            return None
+        times = np.asarray(times_s, dtype=float)
+        rng = self._rng["wind"]
+        if self.plan.wind_direction_deg is None:
+            theta = rng.uniform(0.0, 2.0 * np.pi)
+        else:
+            theta = np.deg2rad(self.plan.wind_direction_deg)
+        dt = times - times[0]
+        drift = self.plan.wind_speed_mps * dt
+        perf.count("faults.wind_flight")
+        return np.column_stack(
+            [drift * np.cos(theta), drift * np.sin(theta), np.zeros(len(times))]
+        )
+
+    # -- SNR reports (measurement flights) ---------------------------------------
+
+    def snr_faults(self, snr_db: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Drop/corrupt PHY SNR reports.
+
+        Returns ``(keep_mask, snr)`` — survivors and their (possibly
+        corrupted) values.
+        """
+        snr = np.asarray(snr_db, dtype=float)
+        keep = np.ones(len(snr), dtype=bool)
+        if not self.plan.snr_active:
+            return keep, snr
+        rng = self._rng["snr"]
+        out = snr.copy()
+        if self.plan.snr_drop_rate > 0:
+            keep = rng.random(len(snr)) >= self.plan.snr_drop_rate
+            dropped = int(len(snr) - keep.sum())
+            if dropped:
+                perf.count("faults.snr_dropped", dropped)
+        if self.plan.snr_corrupt_rate > 0:
+            bad = rng.random(len(snr)) < self.plan.snr_corrupt_rate
+            noise = rng.normal(0.0, self.plan.snr_corrupt_sigma_db, len(snr))
+            bad &= keep
+            out = out + np.where(bad, noise, 0.0)
+            if bad.any():
+                perf.count("faults.snr_corrupted", int(bad.sum()))
+        return keep, out
+
+
+def as_injector(faults: "FaultPlan | FaultInjector | None") -> Optional[FaultInjector]:
+    """Coerce a plan (or pass through an injector / None)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(faults)
+    raise TypeError(
+        f"faults must be a FaultPlan, FaultInjector or None, got {type(faults).__name__}"
+    )

@@ -1,0 +1,157 @@
+"""Declarative fault plans for chaos runs.
+
+A :class:`FaultPlan` describes *what* can go wrong during a run — SRS
+bursts lost or late, GPS blackouts, ToF multipath spikes, wind pushing
+the UAV off its commanded track, SNR reports dropped or corrupted —
+and with what intensity.  It is pure data: seeded, validated,
+hashable-by-value, and completely inert until handed to a
+:class:`~repro.faults.injector.FaultInjector`.
+
+Design rules that make chaos runs reproducible:
+
+* The plan carries its own ``seed``; fault randomness never touches
+  the simulation's RNGs.  The same plan against the same scenario and
+  controller seed reproduces the same run bit-for-bit.
+* A rate of zero disables a fault channel entirely — the injector
+  consumes **no** random numbers for disabled channels, so an all-zero
+  plan is bit-identical to running with no plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_nonneg(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultPlan:
+    """Seeded description of every fault a chaos run may fire.
+
+    All parameters are keyword-only and validated at construction so a
+    misconfigured chaos run fails fast with a clear message instead of
+    silently simulating the wrong failure mode.
+
+    Attributes
+    ----------
+    seed:
+        Seed for all fault randomness.  Independent per-channel RNG
+        streams are derived from it, so e.g. raising the SNR corruption
+        rate does not change which SRS bursts get dropped.
+    srs_drop_rate:
+        Probability that an individual SRS burst is lost (deep uplink
+        fade, scheduling collision).
+    srs_delay_rate / srs_delay_max_s:
+        Probability that a surviving SRS burst is delivered late, and
+        the maximum lateness; late bursts get fused with the wrong GPS
+        fix window, exactly the timestamp skew real eNodeB report
+        pipelines exhibit.
+    gps_blackout_rate_per_s / gps_blackout_duration_s:
+        Expected blackout onsets per second of flight, and how long
+        each blackout lasts.  During a blackout the flight controller
+        holds the last valid fix (GNSS+IMU freeze), and fixes are
+        flagged invalid so measurement consumers can reject them.
+    tof_outlier_rate / tof_outlier_bias_m:
+        Probability that a ToF range estimate is replaced by a late
+        multipath spike, and the mean size of the (always positive)
+        spike — the NLOS failure mode of Section 4.3 pushed past what
+        the jitter model produces.
+    wind_speed_mps / wind_direction_deg:
+        Steady wind drift applied to every flight's *true* track.  The
+        UAV still believes it followed the commanded path (plus GPS
+        noise); the world disagrees.  ``wind_direction_deg=None`` draws
+        a fresh direction per flight.
+    snr_drop_rate:
+        Probability that a PHY SNR report is lost.
+    snr_corrupt_rate / snr_corrupt_sigma_db:
+        Probability that a surviving SNR report is corrupted, and the
+        std-dev of the corruption added to it.
+    """
+
+    seed: int = 0
+    srs_drop_rate: float = 0.0
+    srs_delay_rate: float = 0.0
+    srs_delay_max_s: float = 0.1
+    gps_blackout_rate_per_s: float = 0.0
+    gps_blackout_duration_s: float = 3.0
+    tof_outlier_rate: float = 0.0
+    tof_outlier_bias_m: float = 150.0
+    wind_speed_mps: float = 0.0
+    wind_direction_deg: "float | None" = None
+    snr_drop_rate: float = 0.0
+    snr_corrupt_rate: float = 0.0
+    snr_corrupt_sigma_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "srs_drop_rate",
+            "srs_delay_rate",
+            "tof_outlier_rate",
+            "snr_drop_rate",
+            "snr_corrupt_rate",
+        ):
+            _check_rate(name, getattr(self, name))
+        for name in (
+            "srs_delay_max_s",
+            "gps_blackout_rate_per_s",
+            "gps_blackout_duration_s",
+            "tof_outlier_bias_m",
+            "wind_speed_mps",
+            "snr_corrupt_sigma_db",
+        ):
+            _check_nonneg(name, getattr(self, name))
+
+    # -- channel activity ---------------------------------------------------------
+
+    @property
+    def srs_active(self) -> bool:
+        return self.srs_drop_rate > 0 or self.srs_delay_rate > 0
+
+    @property
+    def gps_active(self) -> bool:
+        return self.gps_blackout_rate_per_s > 0 and self.gps_blackout_duration_s > 0
+
+    @property
+    def tof_active(self) -> bool:
+        return self.tof_outlier_rate > 0
+
+    @property
+    def wind_active(self) -> bool:
+        return self.wind_speed_mps > 0
+
+    @property
+    def snr_active(self) -> bool:
+        return self.snr_drop_rate > 0 or self.snr_corrupt_rate > 0
+
+    @property
+    def active(self) -> bool:
+        """True if any fault channel can fire."""
+        return (
+            self.srs_active
+            or self.gps_active
+            or self.tof_active
+            or self.wind_active
+            or self.snr_active
+        )
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """An inert plan (every channel disabled)."""
+        return cls(seed=seed)
+
+    def describe(self) -> str:
+        """One-line summary of the non-default channels, for logs."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name != "seed" and value != f.default:
+                parts.append(f"{f.name}={value}")
+        return "FaultPlan(" + ", ".join([f"seed={self.seed}"] + parts) + ")"

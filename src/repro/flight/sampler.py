@@ -16,7 +16,7 @@ Two samplers ride on every flight log:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,10 @@ from repro.channel.model import ChannelModel
 from repro.lte.enodeb import ENodeB
 from repro.lte.tof import ToFEstimator
 from repro.lte.ue import UE
+from repro.perf import perf
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 from repro.localization.joint import (
     JointLocalizationResult,
     solve_joint_multilateration,
@@ -72,6 +76,8 @@ def collect_gps_ranges(
     rng: np.random.Generator,
     processing_offset_m: float = DEFAULT_PROCESSING_OFFSET_M,
     srs_rate_hz: float = SRS_RATE_HZ,
+    faults: Optional["FaultInjector"] = None,
+    min_quality: Optional[float] = None,
 ) -> List[GpsRange]:
     """SRS-derived GPS-range tuples for one UE over one flight.
 
@@ -79,10 +85,20 @@ def collect_gps_ranges(
     delay (+offset, +jitter, +NLOS multipath), received by the eNodeB
     and ranged by the Eq. 1-3 estimator; ranges are then averaged into
     the 50 Hz GPS fix stream.
+
+    ``faults`` injects SRS burst drops/delays and ToF outlier spikes;
+    ``min_quality`` (degraded-mode hardening) rejects receptions whose
+    correlation peak-to-background ratio falls below it — noise-only
+    bursts that would otherwise feed garbage ranges into the solver.
+    Fixes flagged invalid by a GPS blackout never produce observations.
     """
     cfg = enodeb.srs_config
     n_srs = max(2, int(log.duration_s * srs_rate_hz) + 1)
     srs_times = np.linspace(log.t_s[0], log.t_s[-1], n_srs)
+    if faults is not None:
+        srs_keep, srs_delivered = faults.srs_faults(srs_times)
+    else:
+        srs_keep, srs_delivered = np.ones(n_srs, dtype=bool), srs_times
     true_pos = _positions_at(log, srs_times, "true")
     ue_xyz = ue.xyz
 
@@ -96,8 +112,10 @@ def collect_gps_ranges(
     jitter_m = rng.normal(0.0, 1.0, n_srs) * jitter_std * 299_792_458.0
 
     known = enodeb.known_srs_symbol(ue)
-    ranges = np.empty(n_srs)
+    ranges = np.full(n_srs, np.nan)
     for i in range(n_srs):
+        if not srs_keep[i]:
+            continue  # burst lost before it reached the eNodeB
         true_range = dist[i] + processing_offset_m + jitter_m[i]
         delay = true_range / cfg.meters_per_sample
         if los[i]:
@@ -109,9 +127,24 @@ def collect_gps_ranges(
             # reflections, biasing the correlation peak late.
             taps = ((0.5, -3.0), (1.2, -6.0))
         rx = enodeb.receive_srs(ue, delay, float(snr[i]), rng, multipath=taps)
-        ranges[i] = estimator.range_m(rx, known)
+        if min_quality is not None:
+            range_m, quality = estimator.range_and_quality_m(rx, known)
+            if quality < min_quality:
+                srs_keep[i] = False
+                perf.count("fallback.srs_quality_reject")
+                continue
+            ranges[i] = range_m
+        else:
+            ranges[i] = estimator.range_m(rx, known)
 
-    return aggregate_tof_to_gps(log.t_s, log.gps_xyz, srs_times, ranges)
+    if faults is not None:
+        ranges[srs_keep] = faults.tof_outliers(ranges[srs_keep])
+    gps_t, gps_xyz = log.t_s, log.gps_xyz
+    if log.gps_valid is not None:
+        gps_t, gps_xyz = gps_t[log.gps_valid], gps_xyz[log.gps_valid]
+    return aggregate_tof_to_gps(
+        gps_t, gps_xyz, srs_delivered[srs_keep], ranges[srs_keep]
+    )
 
 
 def localize_ue(
@@ -150,6 +183,8 @@ def localize_all_ues(
     mad_k: Optional[float] = 4.0,
     bounds_xy: Optional[tuple] = None,
     offset_prior: Optional[tuple] = None,
+    faults: Optional["FaultInjector"] = None,
+    min_quality: Optional[float] = None,
 ) -> JointLocalizationResult:
     """Localize every UE from one flight with a *shared* offset.
 
@@ -158,15 +193,36 @@ def localize_all_ues(
     SkyRAN reaches metre-scale accuracy from a 20 m flight (Fig. 18).
     ``bounds_xy`` (the operating-area box) constrains the solve when
     given.
+
+    Under fault injection a UE can end a flight with too few usable
+    ranges to solve (< 3).  Such UEs are *skipped* — reported absent
+    from ``per_ue`` with a ``fallback.ue_insufficient_ranges`` counter
+    bump — rather than failing the whole flight; the controller falls
+    back to its last-good estimate for them.  If no UE has enough
+    observations, an empty (non-converged) result is returned.
     """
     obs_by_ue = {}
     for ue in ues:
         obs = collect_gps_ranges(
-            log, ue, channel, enodeb, estimator, rng, processing_offset_m
+            log,
+            ue,
+            channel,
+            enodeb,
+            estimator,
+            rng,
+            processing_offset_m,
+            faults=faults,
+            min_quality=min_quality,
         )
         if mad_k is not None:
             obs = mad_filter(obs, k=mad_k)
+        if len(obs) < 3:
+            perf.count("fallback.ue_insufficient_ranges")
+            continue
         obs_by_ue[ue.ue_id] = obs
+    if not obs_by_ue:
+        prior_b = float(offset_prior[0]) if offset_prior is not None else 0.0
+        return JointLocalizationResult(per_ue={}, offset_m=prior_b, converged=False)
     return solve_joint_multilateration(
         obs_by_ue, ue_z=ue_z, bounds_xy=bounds_xy, offset_prior=offset_prior
     )
@@ -178,8 +234,13 @@ def collect_snr_samples(
     channel: ChannelModel,
     rng: np.random.Generator,
     rate_hz: float = SRS_RATE_HZ,
+    faults: Optional["FaultInjector"] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-sample SNR reports for one UE along a measurement flight.
+
+    ``faults`` injects SNR report drops/corruption; samples taken while
+    GPS was blacked out are discarded (the frozen hold-last fix would
+    bin them into the wrong REM cell).
 
     Returns
     -------
@@ -192,5 +253,16 @@ def collect_snr_samples(
     times = np.linspace(log.t_s[0], log.t_s[-1], n)
     true_pos = _positions_at(log, times, "true")
     gps_pos = _positions_at(log, times, "gps")
-    snr = channel.sample_snr_db(true_pos, ue.xyz, rng)
-    return gps_pos[:, :2], np.asarray(snr)
+    snr = np.asarray(channel.sample_snr_db(true_pos, ue.xyz, rng))
+    if faults is None:
+        return gps_pos[:, :2], snr
+    keep, snr = faults.snr_faults(snr)
+    if log.gps_valid is not None:
+        # A sample is only binnable if both neighbouring fixes were
+        # valid (the interpolated position is trustworthy).
+        valid = np.interp(times, log.t_s, log.gps_valid.astype(float)) > 0.999
+        dropped = int((keep & ~valid).sum())
+        if dropped:
+            perf.count("fallback.snr_unbinnable", dropped)
+        keep = keep & valid
+    return gps_pos[keep][:, :2], snr[keep]

@@ -10,11 +10,14 @@ the properties the paper's overhead arguments rest on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.trajectory.base import Trajectory
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 #: Paper's measurement-flight ground speed (Section 4.5.2): 30 km/h.
 DEFAULT_SPEED_MPS = 30.0 / 3.6
@@ -92,10 +95,20 @@ class FlightLog:
     true_xyz: np.ndarray
     gps_xyz: np.ndarray
     distance_m: float
+    #: Per-fix validity: False where the fix fell in a GPS blackout
+    #: (the reported position is the frozen last-valid fix).  None
+    #: means every fix is valid — the fault-free common case.
+    gps_valid: Optional[np.ndarray] = None
 
     @property
     def duration_s(self) -> float:
         return float(self.t_s[-1] - self.t_s[0]) if len(self.t_s) > 1 else 0.0
+
+    def gps_valid_mask(self) -> np.ndarray:
+        """Validity mask, materialized (all-True when no blackout hit)."""
+        if self.gps_valid is None:
+            return np.ones(len(self.t_s), dtype=bool)
+        return self.gps_valid
 
     def __len__(self) -> int:
         return len(self.t_s)
@@ -146,12 +159,24 @@ class UAV:
             noise[i] = rho * noise[i - 1] + np.sqrt(max(1.0 - rho * rho, 0.0)) * rng.normal(0.0, 1.0, 3)
         return true_xyz + noise * sigma[None, :]
 
-    def fly(self, trajectory: Trajectory, rng: Optional[np.random.Generator] = None) -> FlightLog:
+    def fly(
+        self,
+        trajectory: Trajectory,
+        rng: Optional[np.random.Generator] = None,
+        faults: Optional["FaultInjector"] = None,
+    ) -> FlightLog:
         """Fly a trajectory from the current position; return the log.
 
         The UAV first cuts to the trajectory start (that leg is part of
         the log and the cost), then follows the waypoints at cruise
         speed, emitting 50 Hz fixes.
+
+        ``faults`` (a :class:`~repro.faults.injector.FaultInjector`)
+        perturbs the flight: wind drift displaces the *true* track off
+        the commanded path, and GPS blackouts freeze fixes at the last
+        valid position (flagged in :attr:`FlightLog.gps_valid`).  With
+        ``faults=None`` the flight is bit-identical to the fault-free
+        model.
         """
         rng = rng or np.random.default_rng()
         wp = np.column_stack(
@@ -172,12 +197,31 @@ class UAV:
         true = np.column_stack(
             [np.interp(arc, cum, path[:, i]) for i in range(3)]
         )
+        if faults is not None:
+            drift = faults.wind_offsets(t)
+            if drift is not None:
+                # The controller commands waypoints; the wind decides
+                # where the airframe actually ends up.
+                true = true + drift
         gps = self._gps_of(true, t, rng)
+        gps_valid: Optional[np.ndarray] = None
+        if faults is not None:
+            blackout = faults.gps_blackout_mask(self.clock_s + t)
+            if blackout.any():
+                gps_valid = ~blackout
+                # Hold-last-fix: the flight controller keeps reporting
+                # the last pre-blackout position until GNSS returns.
+                last = np.maximum.accumulate(
+                    np.where(gps_valid, np.arange(n_fix), -1)
+                )
+                held = np.clip(last, 0, None)
+                gps = gps[held]
         log = FlightLog(
             t_s=self.clock_s + t,
             true_xyz=true,
             gps_xyz=gps,
             distance_m=total,
+            gps_valid=gps_valid,
         )
         self.position = true[-1].copy()
         self.clock_s += duration
@@ -189,8 +233,13 @@ class UAV:
         self.clock_s += seconds
         self.battery.drain_hover(seconds)
 
-    def goto(self, xyz: Sequence[float], rng: Optional[np.random.Generator] = None) -> FlightLog:
+    def goto(
+        self,
+        xyz: Sequence[float],
+        rng: Optional[np.random.Generator] = None,
+        faults: Optional["FaultInjector"] = None,
+    ) -> FlightLog:
         """Straight-line reposition to a 3D point."""
         target = np.asarray(xyz, dtype=float).reshape(3)
         traj = Trajectory(target[None, :2], float(target[2]), "goto")
-        return self.fly(traj, rng)
+        return self.fly(traj, rng, faults=faults)

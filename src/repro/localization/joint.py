@@ -105,6 +105,7 @@ def solve_joint_multilateration(
         if len(obs) < 3:
             raise ValueError(f"UE {ue_id}: need at least 3 observations, got {len(obs)}")
         data[ue_id] = _stack_observations(obs)
+    orig_counts = {ue_id: len(data[ue_id][1]) for ue_id in ue_ids}
 
     if offset_prior is not None:
         prior_b, prior_w = float(offset_prior[0]), float(offset_prior[1])
@@ -226,6 +227,9 @@ def solve_joint_multilateration(
             residual_rms_m=float(np.sqrt(np.mean(res**2))),
             n_iter=int(best.nfev),
             converged=bool(best.success),
+            # How much of this UE's data the NLOS trimming kept — the
+            # per-UE quality score degraded-mode fallbacks key on.
+            inlier_fraction=len(ranges) / orig_counts[ue_id],
         )
     return JointLocalizationResult(
         per_ue=per_ue, offset_m=b, converged=bool(best.success)

@@ -48,6 +48,11 @@ class MultilaterationResult:
         Residual-function evaluations used by the winning restart.
     converged:
         Whether the winning solve reported convergence.
+    inlier_fraction:
+        Fraction of the input observations the solve actually trusted
+        (1.0 when no outlier rejection ran).  Together with
+        ``residual_rms_m`` this is the per-UE quality score the
+        degraded-mode controller gates its fallbacks on.
     """
 
     position: np.ndarray
@@ -55,12 +60,66 @@ class MultilaterationResult:
     residual_rms_m: float
     n_iter: int
     converged: bool
+    inlier_fraction: float = 1.0
+
+    @property
+    def quality_ok(self) -> bool:
+        """Crude sanity gate: solve converged and kept most of its data."""
+        return self.converged and self.inlier_fraction >= 0.5
 
 
 def _residuals(theta: np.ndarray, anchors: np.ndarray, ranges: np.ndarray, ue_z: float):
     p = np.array([theta[0], theta[1], ue_z])
     dist = np.linalg.norm(anchors - p[None, :], axis=1)
     return dist + theta[2] - ranges
+
+
+def ransac_inlier_mask(
+    anchors: np.ndarray,
+    ranges: np.ndarray,
+    ue_z: float = 1.5,
+    threshold_m: float = 12.0,
+    iters: int = 12,
+    sample_size: int = 8,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """RANSAC consensus mask over range observations.
+
+    Repeatedly fits the (position, offset) model to a small random
+    subset and scores it by how many of *all* observations it explains
+    within ``threshold_m``.  Returns the inlier mask of the best
+    consensus.  Unlike the Huber loss — which merely down-weights
+    outliers — a consensus vote survives fault regimes where a third of
+    the ranges are multipath spikes hundreds of meters long.
+    """
+    n = len(ranges)
+    mask = np.ones(n, dtype=bool)
+    if n < 5 or iters < 1:
+        return mask
+    rng = np.random.default_rng(seed)
+    k = min(max(4, sample_size), n)
+    best_count = -1
+    for _ in range(iters):
+        pick = rng.choice(n, size=k, replace=False)
+        a, r = anchors[pick], ranges[pick]
+        p0 = a[:, :2].mean(axis=0)
+        dz = ue_z - a[:, 2]
+        dist0 = np.sqrt(np.sum((p0[None, :] - a[:, :2]) ** 2, axis=1) + dz * dz)
+        b0 = float(np.median(r - dist0))
+        sol = least_squares(
+            _residuals,
+            x0=np.array([p0[0], p0[1], b0]),
+            args=(a, r, ue_z),
+            max_nfev=60,
+        )
+        res_all = np.abs(_residuals(sol.x, anchors, ranges, ue_z))
+        inliers = res_all <= threshold_m
+        if int(inliers.sum()) > best_count:
+            best_count = int(inliers.sum())
+            mask = inliers
+    if best_count < 3:
+        return np.ones(n, dtype=bool)
+    return mask
 
 
 def solve_multilateration(
@@ -71,6 +130,8 @@ def solve_multilateration(
     tol: float = 1e-8,
     restarts: int = 4,
     seed: Optional[int] = 0,
+    ransac_iters: int = 0,
+    ransac_threshold_m: float = 12.0,
 ) -> MultilaterationResult:
     """Solve for the UE position and the constant range offset.
 
@@ -90,7 +151,14 @@ def solve_multilateration(
     restarts:
         Number of starting points; the best final robust cost wins.
     seed:
-        RNG seed for restart jitter.
+        RNG seed for restart jitter (and RANSAC sampling).
+    ransac_iters:
+        If > 0, run :func:`ransac_inlier_mask` first and solve only on
+        the consensus inliers; the result's ``inlier_fraction``
+        reports how much data survived.  0 (default) preserves the
+        classic Huber-only behavior exactly.
+    ransac_threshold_m:
+        Inlier residual threshold for the consensus vote.
 
     Returns
     -------
@@ -101,6 +169,20 @@ def solve_multilateration(
         raise ValueError(f"need at least 3 observations, got {len(obs)}")
     anchors = np.array([o.gps_xyz for o in obs], dtype=float)
     ranges = np.array([o.range_m for o in obs], dtype=float)
+
+    inlier_fraction = 1.0
+    if ransac_iters > 0:
+        mask = ransac_inlier_mask(
+            anchors,
+            ranges,
+            ue_z=ue_z,
+            threshold_m=ransac_threshold_m,
+            iters=ransac_iters,
+            seed=seed,
+        )
+        if mask.sum() >= 3:
+            inlier_fraction = float(mask.mean())
+            anchors, ranges = anchors[mask], ranges[mask]
 
     rng = np.random.default_rng(seed)
     centroid = anchors[:, :2].mean(axis=0)
@@ -141,4 +223,5 @@ def solve_multilateration(
         residual_rms_m=float(np.sqrt(np.mean(res**2))),
         n_iter=int(best.nfev),
         converged=bool(best.success),
+        inlier_fraction=inlier_fraction,
     )

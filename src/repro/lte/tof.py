@@ -41,6 +41,22 @@ def upsample_freq(x: np.ndarray, factor: int) -> np.ndarray:
     return np.concatenate([x[:half], zeros, x[half:]])
 
 
+def correlation_quality(mag: np.ndarray, peak: int) -> float:
+    """Peak-to-background ratio of a correlation magnitude profile.
+
+    The ratio of the peak magnitude to the median magnitude away from
+    the peak.  A clean SRS reception correlates to a sharp spike (high
+    ratio); a burst buried in noise or shredded by interference yields
+    a flat profile (ratio near 1).  Degraded-mode localization uses
+    this to discard receptions whose "delay" is really an argmax over
+    noise.
+    """
+    background = float(np.median(mag))
+    if background <= 1e-30:
+        return float("inf")
+    return float(mag[peak] / background)
+
+
 def estimate_delay_samples(
     received: np.ndarray,
     known: np.ndarray,
@@ -61,6 +77,22 @@ def estimate_delay_samples(
     coarse for the multilateration to separate the range curvature
     from the constant offset over a short 20 m flight.  Set
     ``refine=False`` to reproduce the raw-argmax ablation.
+    """
+    delay, _ = estimate_delay_and_quality(received, known, upsampling, refine)
+    return delay
+
+
+def estimate_delay_and_quality(
+    received: np.ndarray,
+    known: np.ndarray,
+    upsampling: int = 4,
+    refine: bool = True,
+) -> tuple:
+    """Eq. 1-3 delay plus the correlation peak quality.
+
+    Same estimator as :func:`estimate_delay_samples`, additionally
+    returning :func:`correlation_quality` of the profile so callers can
+    reject garbage receptions without re-correlating.
     """
     received = np.asarray(received, dtype=complex)
     known = np.asarray(known, dtype=complex)
@@ -85,7 +117,7 @@ def estimate_delay_samples(
     pos = peak + delta
     if pos > total / 2:
         pos -= total
-    return pos / upsampling
+    return pos / upsampling, correlation_quality(mag, peak)
 
 
 @dataclass(frozen=True)
@@ -127,3 +159,14 @@ class ToFEstimator:
         that offset jointly with the position (Section 3.2.3).
         """
         return self.delay_samples(received, known) * self.config.meters_per_sample
+
+    def range_and_quality_m(self, received: np.ndarray, known: np.ndarray) -> tuple:
+        """``(range_m, quality)``: the range plus the correlation quality.
+
+        The quality (peak-to-background ratio of the correlation
+        profile) lets degraded-mode consumers discard receptions that
+        are noise-only — e.g. SRS bursts shredded by interference in a
+        chaos run — before they poison the multilateration.
+        """
+        delay, quality = estimate_delay_and_quality(received, known, self.upsampling)
+        return delay * self.config.meters_per_sample, quality

@@ -12,6 +12,14 @@ aggregate map (for trajectory planning, Step 6.1) and the min-SNR map
 from repro.rem.map import REM
 from repro.rem.idw import idw_interpolate
 from repro.rem.kriging import kriging_interpolate
+from repro.rem.interpolate import (
+    IDWInterpolator,
+    Interpolator,
+    KrigingInterpolator,
+    available_interpolators,
+    make_interpolator,
+    register_interpolator,
+)
 from repro.rem.gradient import gradient_map, high_gradient_cells
 from repro.rem.aggregate import aggregate_rem, min_snr_map
 from repro.rem.accuracy import median_abs_error_db, rem_error_map
@@ -20,6 +28,12 @@ __all__ = [
     "REM",
     "idw_interpolate",
     "kriging_interpolate",
+    "Interpolator",
+    "IDWInterpolator",
+    "KrigingInterpolator",
+    "make_interpolator",
+    "register_interpolator",
+    "available_interpolators",
     "gradient_map",
     "high_gradient_cells",
     "aggregate_rem",

@@ -16,7 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geo.grid import GridSpec
-from repro.rem.idw import idw_interpolate
+from repro.rem.interpolate import Interpolator, make_interpolator
 
 
 @dataclass
@@ -93,32 +93,27 @@ class REM:
         power: float = 2.0,
         k_neighbors: int = 12,
         max_distance_m: Optional[float] = None,
-        method: str = "idw",
+        method: "str | Interpolator" = "idw",
     ) -> np.ndarray:
         """Full SNR map: measured cells + interpolation (+ prior fallback).
 
-        ``method="idw"`` is the paper's choice; ``"kriging"`` runs the
-        footnote-3 alternative (ordinary kriging) for comparisons.
+        ``method`` is either a registered interpolator name
+        (``"idw"`` — the paper's choice — or ``"kriging"``, the
+        footnote-3 alternative) or an :class:`~repro.rem.interpolate.
+        Interpolator` instance; names are resolved through the registry
+        with this call's ``power``/``k_neighbors``/``max_distance_m``
+        as construction parameters.
         """
-        if method == "idw":
-            return idw_interpolate(
-                self.grid,
-                self.measured_values(),
+        if isinstance(method, str):
+            method = make_interpolator(
+                method,
                 power=power,
                 k_neighbors=k_neighbors,
                 max_distance_m=max_distance_m,
-                fallback=self.prior,
             )
-        if method == "kriging":
-            from repro.rem.kriging import kriging_interpolate
-
-            return kriging_interpolate(
-                self.grid,
-                self.measured_values(),
-                k_neighbors=k_neighbors,
-                fallback=self.prior,
-            )
-        raise ValueError(f"unknown interpolation method {method!r}")
+        return method.interpolate(
+            self.grid, self.measured_values(), fallback=self.prior
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 

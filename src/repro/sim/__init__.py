@@ -10,8 +10,10 @@ behind the Section 5 scale-up benches.
 from repro.sim.scenario import PlacementEvaluation, Scenario
 from repro.sim.runner import (
     EpochRecord,
+    RunResult,
     overhead_to_target,
     run_epochs,
+    run_simulation,
 )
 from repro.sim.metrics import (
     median_rem_error,
@@ -24,7 +26,9 @@ __all__ = [
     "Scenario",
     "PlacementEvaluation",
     "EpochRecord",
+    "RunResult",
     "run_epochs",
+    "run_simulation",
     "overhead_to_target",
     "median_rem_error",
     "relative_series",

@@ -8,8 +8,8 @@ Section 5 scale-up figures (26-31).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,6 +17,10 @@ from repro.mobility.models import relocate_fraction
 from repro.perf import perf
 from repro.sim.metrics import median_rem_error
 from repro.sim.scenario import Scenario
+
+#: Fixed operating altitude for schemes without an altitude search
+#: (and for pinned like-for-like comparisons).
+DEFAULT_FIXED_ALTITUDE_M = 60.0
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,13 @@ class EpochRecord:
         REMs).
     moved_ues:
         UE ids relocated before this epoch.
+    altitude_m:
+        Operating altitude served at after this epoch (None in traces
+        saved before the field existed).
+    min_throughput_mbps:
+        True worst-UE throughput at the served position — the KPI the
+        chaos smoke watches for graceful degradation (None in old
+        traces).
     """
 
     epoch: int
@@ -49,18 +60,21 @@ class EpochRecord:
     relative_throughput: float
     rem_error_db: float
     moved_ues: tuple
+    altitude_m: Optional[float] = None
+    min_throughput_mbps: Optional[float] = None
 
 
 def _evaluate_epoch(
     scenario: Scenario, controller, result, rem_grid
 ) -> tuple:
-    """Relative throughput + REM error for one epoch result."""
+    """Relative/min throughput + REM error + altitude for one epoch result."""
     position = getattr(result, "placement", None)
     if position is not None:
         pos = position.position
     else:
         pos = result.position  # Centroid-style results
     rel = scenario.relative_throughput(pos)
+    min_tput = scenario.evaluate(pos).min_throughput_mbps
     rem_maps = getattr(result, "rem_maps", None)
     if rem_maps:
         altitude = float(pos.z)
@@ -71,7 +85,7 @@ def _evaluate_epoch(
         err = median_rem_error(rem_maps, truth, ue_order=order)
     else:
         err = float("nan")
-    return rel, err
+    return rel, err, float(pos.z), min_tput
 
 
 def run_epochs(
@@ -121,7 +135,9 @@ def run_epochs(
             else:
                 result = controller.run_epoch()
         with perf.span("runner.evaluate"):
-            rel, err = _evaluate_epoch(scenario, controller, result, rem_grid)
+            rel, err, alt, min_tput = _evaluate_epoch(
+                scenario, controller, result, rem_grid
+            )
         cum_d += result.flight_distance_m
         cum_t += result.flight_time_s
         record = EpochRecord(
@@ -133,6 +149,8 @@ def run_epochs(
             relative_throughput=rel,
             rem_error_db=err,
             moved_ues=moved,
+            altitude_m=alt,
+            min_throughput_mbps=min_tput,
         )
         records.append(record)
         if on_epoch is not None:
@@ -168,3 +186,153 @@ def overhead_to_target(
         if hit:
             return rec.cumulative_time_s if value == "time" else rec.cumulative_distance_m
     return None
+
+
+# -- the one-call entrypoint ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Typed outcome of :func:`run_simulation`.
+
+    Attributes
+    ----------
+    scheme:
+        Which controller ran (``"skyran"``/``"uniform"``/``"centroid"``).
+    records:
+        One :class:`EpochRecord` per epoch, in order.
+    fault_counters / fallback_counters:
+        ``faults.*`` / ``fallback.*`` perf-counter deltas accumulated
+        over this run (empty for fault-free runs).
+    """
+
+    scheme: str
+    records: Tuple[EpochRecord, ...]
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    fallback_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def final(self) -> EpochRecord:
+        """The last epoch's record."""
+        return self.records[-1]
+
+    @property
+    def relative_throughput(self) -> float:
+        """Relative throughput achieved after the final epoch."""
+        return self.final.relative_throughput
+
+    @property
+    def total_distance_m(self) -> float:
+        return self.final.cumulative_distance_m
+
+    @property
+    def total_time_s(self) -> float:
+        return self.final.cumulative_time_s
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.fault_counters.values())
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(self.fallback_counters.values())
+
+
+def run_simulation(
+    scenario: Scenario,
+    config=None,
+    faults=None,
+    *,
+    scheme: str = "skyran",
+    n_epochs: int = 1,
+    budget_per_epoch_m: Optional[float] = None,
+    move_fraction: float = 0.0,
+    seed: int = 0,
+    altitude: Optional[float] = None,
+    on_epoch: Optional[Callable[[EpochRecord], None]] = None,
+) -> RunResult:
+    """Build a controller, run it for ``n_epochs``, return a :class:`RunResult`.
+
+    The one public entrypoint experiments and smoke scripts share: it
+    owns controller construction (so every caller wires faults and
+    config the same way) and snapshots the ``faults.*``/``fallback.*``
+    perf counters around the run.
+
+    Parameters
+    ----------
+    scenario:
+        The radio world to run against.
+    config:
+        :class:`~repro.core.config.SkyRANConfig` (defaults to paper
+        defaults).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or prepared
+        :class:`~repro.faults.injector.FaultInjector`); None runs
+        fault-free, bit-identical to a controller built directly.
+    scheme:
+        ``"skyran"``, ``"uniform"`` or ``"centroid"``.
+    altitude:
+        Pin the operating altitude (required semantics for the
+        fixed-altitude baselines, optional for SkyRAN, which otherwise
+        runs its own first-epoch search).
+    """
+    from repro.baselines.centroid import CentroidController
+    from repro.baselines.uniform import UniformController
+    from repro.core.config import SkyRANConfig
+    from repro.core.controller import SkyRANController
+    from repro.faults.injector import as_injector
+
+    cfg = config if config is not None else SkyRANConfig()
+    injector = as_injector(faults)
+    if scheme == "skyran":
+        controller = SkyRANController(
+            scenario.channel, scenario.enodeb, cfg, seed=seed, faults=injector
+        )
+        if altitude is not None:
+            controller.altitude = float(altitude)
+    elif scheme == "uniform":
+        controller = UniformController(
+            scenario.channel,
+            scenario.enodeb,
+            cfg,
+            altitude=float(altitude if altitude is not None else DEFAULT_FIXED_ALTITUDE_M),
+            seed=seed,
+            faults=injector,
+        )
+    elif scheme == "centroid":
+        controller = CentroidController(
+            scenario.channel,
+            scenario.enodeb,
+            cfg,
+            altitude=float(altitude if altitude is not None else DEFAULT_FIXED_ALTITUDE_M),
+            seed=seed,
+            faults=injector,
+        )
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    before = perf.counters()
+    records = run_epochs(
+        scenario,
+        controller,
+        n_epochs,
+        budget_per_epoch_m=budget_per_epoch_m,
+        move_fraction=move_fraction,
+        seed=seed,
+        on_epoch=on_epoch,
+    )
+    deltas = {
+        name: count - before.get(name, 0)
+        for name, count in perf.counters().items()
+        if count - before.get(name, 0) > 0
+    }
+    return RunResult(
+        scheme=scheme,
+        records=tuple(records),
+        fault_counters={
+            k: v for k, v in sorted(deltas.items()) if k.startswith("faults.")
+        },
+        fallback_counters={
+            k: v for k, v in sorted(deltas.items()) if k.startswith("fallback.")
+        },
+    )
