@@ -165,18 +165,25 @@ def bench_oracle(n_ues: int, repeats: int) -> dict:
 
 
 def bench_headline() -> dict:
-    """The headline figure in quick mode, timed with perf counters."""
-    from repro.experiments.headline import run
+    """The headline figure in quick mode, timed with perf counters.
+
+    Driven through the unified experiment runner (the same path the
+    ``python -m repro.experiments`` CLI takes), so the bench exercises
+    the registry grid expansion and point fan-out, not a bespoke loop.
+    """
+    from repro.experiments.registry import run_experiment
 
     perf.reset()
-    t0 = time.perf_counter()
-    result = run(quick=True, seeds=(0, 1), budget_m=450.0)
-    wall = time.perf_counter() - t0
+    run = run_experiment(
+        "headline", quick=True, overrides={"seeds": (0, 1), "budget_m": 450.0}
+    )
     return {
-        "wall_time_s": wall,
-        "rows": result["rows"],
-        "paper": result.get("paper"),
-        "perf": perf.snapshot(),
+        "wall_time_s": run.wall_time_s,
+        "points_total": len(run.params),
+        "points_computed": run.computed,
+        "rows": run.result["rows"],
+        "paper": run.result.get("paper"),
+        "perf": run.perf_delta,
     }
 
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Experiments smoke: the unified runner end to end, one command.
+
+Runs two cheap figures at ``--quick`` through
+:func:`repro.experiments.registry.run_experiment` against a throwaway
+artifact store, re-runs them warm, and gates on the runner's own
+contract:
+
+* every experiment artifact carries the expected schema tags
+  (``repro.experiment/v1`` result, ``repro.experiment.point/v1``
+  points, ``repro.experiment.perf/v1`` sidecar) and a well-formed
+  point list,
+* the warm re-run computes **zero** points (every point served from
+  cache, verified through the ``experiments.point.*`` perf counters),
+* the warm result artifact is byte-identical to the cold one.
+
+Usage::
+
+    PYTHONPATH=src python scripts/experiments_smoke.py [--out PATH]
+        [--store DIR] [--experiments NAME [NAME ...]]
+
+Exit status is non-zero on any schema or cache-contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.artifacts import (  # noqa: E402
+    EXPERIMENT_SCHEMA,
+    PERF_SCHEMA,
+    POINT_SCHEMA,
+    ArtifactStore,
+)
+from repro.experiments.registry import run_experiment  # noqa: E402
+
+#: Cheap, structurally different figures: fig7 is a single-point
+#: channel sweep, fig3 a multi-point (per-seed) placement grid.
+DEFAULT_EXPERIMENTS = ("fig7", "fig3")
+
+
+def _fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _check_artifact(store: ArtifactStore, name: str, run) -> dict:
+    """Validate the on-disk artifacts one experiment run produced."""
+    payload = store.load_experiment(name)
+    if payload is None:
+        _fail(f"{name}: no EXP_{name}.json artifact")
+    if payload.get("schema") != EXPERIMENT_SCHEMA:
+        _fail(f"{name}: artifact schema {payload.get('schema')!r}")
+    for field in ("experiment", "title", "quick", "fingerprint", "points", "result"):
+        if field not in payload:
+            _fail(f"{name}: artifact missing {field!r}")
+    if payload["experiment"] != name:
+        _fail(f"{name}: artifact names {payload['experiment']!r}")
+    points = payload["points"]
+    if len(points) != len(run.params):
+        _fail(f"{name}: {len(points)} artifact points vs {len(run.params)} grid points")
+    for entry in points:
+        for field in ("key", "params", "record"):
+            if field not in entry:
+                _fail(f"{name}: point entry missing {field!r}")
+        point_payload = json.loads(store.point_path(entry["key"]).read_text())
+        if point_payload.get("schema") != POINT_SCHEMA:
+            _fail(f"{name}: point {entry['key']} schema {point_payload.get('schema')!r}")
+        if point_payload["record"] != entry["record"]:
+            _fail(f"{name}: point {entry['key']} record differs from artifact")
+    perf_payload = json.loads(store.perf_path(name).read_text())
+    if perf_payload.get("schema") != PERF_SCHEMA:
+        _fail(f"{name}: perf sidecar schema {perf_payload.get('schema')!r}")
+    for field in ("wall_time_s", "workers", "points_total", "points_computed"):
+        if field not in perf_payload:
+            _fail(f"{name}: perf sidecar missing {field!r}")
+    return payload
+
+
+def smoke_one(store: ArtifactStore, name: str) -> dict:
+    """Cold run + warm re-run of one experiment, with all gates."""
+    cold = run_experiment(name, quick=True, store=store)
+    if cold.computed != len(cold.params) or cold.cached != 0:
+        _fail(f"{name}: cold run computed {cold.computed}/{len(cold.params)} points")
+    _check_artifact(store, name, cold)
+    cold_bytes = cold.artifact_path.read_bytes()
+
+    warm = run_experiment(name, quick=True, store=store)
+    counters = warm.perf_delta.get("counters", {})
+    if warm.computed != 0 or counters.get("experiments.point.computed"):
+        _fail(f"{name}: warm re-run recomputed {warm.computed} points")
+    if counters.get("experiments.point.cache_hit") != len(warm.params):
+        _fail(f"{name}: warm re-run hit {counters.get('experiments.point.cache_hit')} "
+              f"of {len(warm.params)} cached points")
+    if warm.artifact_path.read_bytes() != cold_bytes:
+        _fail(f"{name}: warm artifact differs from cold artifact")
+    print(
+        f"[{name}] {len(cold.params)} points, cold {cold.wall_time_s:.1f} s, "
+        f"warm {warm.wall_time_s:.2f} s (all cached, artifact byte-identical)"
+    )
+    return {
+        "experiment": name,
+        "points": len(cold.params),
+        "cold_wall_s": cold.wall_time_s,
+        "warm_wall_s": warm.wall_time_s,
+        "warm_cache_hits": counters.get("experiments.point.cache_hit", 0),
+        "artifact_bytes": len(cold_bytes),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "artifacts" / "BENCH_experiments_smoke.json",
+        help="summary artifact path",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="artifact store directory (default: fresh temp dir)",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=list(DEFAULT_EXPERIMENTS),
+        help=f"experiments to smoke (default: {' '.join(DEFAULT_EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.store is not None:
+        store_dir = args.store
+        results = [smoke_one(ArtifactStore(store_dir), n) for n in args.experiments]
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-exp-smoke-") as tmp:
+            store = ArtifactStore(tmp)
+            results = [smoke_one(store, n) for n in args.experiments]
+
+    payload = {"bench": "experiments_smoke", "experiments": results}
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[artifact] {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

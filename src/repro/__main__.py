@@ -1,56 +1,18 @@
 """Command-line interface: regenerate any paper figure by id.
 
-Usage::
+A thin back-compat shim over the unified experiment runner::
 
     python -m repro list                 # show available experiments
     python -m repro run fig20            # regenerate Fig. 20's rows
     python -m repro run headline --full  # paper-scale fidelity
+
+Prefer ``python -m repro.experiments`` — same commands plus
+``--workers``, ``--force``, ``--no-cache`` and ``summary``.
 """
 
 from __future__ import annotations
 
-import argparse
-import sys
-
-from repro.experiments import REGISTRY
-from repro.experiments.common import print_rows
-
-
-def _cmd_list() -> int:
-    print("Available experiments:")
-    for exp_id in REGISTRY:
-        print(f"  {exp_id}")
-    return 0
-
-
-def _cmd_run(exp_id: str, full: bool) -> int:
-    run_fn = REGISTRY.get(exp_id)
-    if run_fn is None:
-        print(f"unknown experiment {exp_id!r}; try 'python -m repro list'", file=sys.stderr)
-        return 2
-    result = run_fn(quick=not full)
-    print_rows(exp_id, result.get("rows", []), result.get("paper"))
-    return 0
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro", description="SkyRAN reproduction experiment runner"
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list experiment ids")
-    run_p = sub.add_parser("run", help="run one experiment")
-    run_p.add_argument("experiment", help="experiment id (e.g. fig20, headline)")
-    run_p.add_argument(
-        "--full",
-        action="store_true",
-        help="paper-scale fidelity (1 m grids; slow)",
-    )
-    args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    return _cmd_run(args.experiment, args.full)
-
+from repro.experiments.cli import main
 
 if __name__ == "__main__":
     raise SystemExit(main())

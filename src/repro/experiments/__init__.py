@@ -1,14 +1,16 @@
 """Per-figure experiment harness.
 
 Every quantitative figure in the paper's evaluation has a module here
-that regenerates its rows/series on the simulated substrate.  Each
-module exposes ``run(quick=...)`` returning a result dict (with a
-``"rows"`` entry of printable records) and is callable as a script.
-``REGISTRY`` maps experiment ids to their run callables so the bench
-suite and EXPERIMENTS.md generation can enumerate them.
+that registers a ``(grid, point, aggregate)`` experiment with
+:mod:`repro.experiments.registry` and keeps its historical
+``run(quick=...)`` entrypoint (a thin wrapper over the registered
+experiment).  The unified CLI — ``python -m repro.experiments`` —
+runs any of them with on-disk point caching and an optional process
+pool; ``REGISTRY`` maps experiment ids to their run callables so the
+bench suite and EXPERIMENTS.md generation can enumerate them.
 """
 
-from repro.experiments import (
+from repro.experiments import (  # noqa: F401  (import side effect: registration)
     ablations,
     fig01_motivation,
     fig05_trajectories,
@@ -36,38 +38,8 @@ from repro.experiments import (
     fig31_num_ues,
     headline,
 )
+from repro.experiments.registry import _EXPERIMENTS
 
-REGISTRY = {
-    "fig1": fig01_motivation.run,
-    "fig5": fig05_trajectories.run,
-    "rem-vs-tputmap": rem_vs_throughput_map.run,
-    "fig3": fig03_centroid_vs_optimal.run,
-    "fig4": fig04_rem_vs_model.run,
-    "fig6": fig06_location_aware.run,
-    "fig7": fig07_pathloss_variation.run,
-    "fig8": fig08_altitude.run,
-    "fig9": fig09_localization_impact.run,
-    "fig12": fig12_epoch_length.run,
-    "fig14": fig14_snr_distributions.run,
-    "fig17": fig17_ranging_cdf.run,
-    "fig18": fig18_localization_cdf.run,
-    "fig19": fig19_loc_vs_flightlen.run,
-    "fig20": fig20_rem_vs_time.run,
-    "fig21": fig21_centroid_by_ues.run,
-    "fig23": fig23_budget_topologies.run,
-    "fig24": fig24_rem_topologies.run,
-    "fig26": fig26_overhead_static_dynamic.run,
-    "fig27": fig27_overhead_terrains.run,
-    "fig28": fig28_rem_overhead.run,
-    "fig29": fig29_budget_terrains.run,
-    "fig30": fig30_rem_budget_terrains.run,
-    "fig31": fig31_num_ues.run,
-    "headline": headline.run,
-    "ablation-upsampling": ablations.ablation_upsampling,
-    "ablation-interpolation": ablations.ablation_interpolation,
-    "ablation-gradient-threshold": ablations.ablation_gradient_threshold,
-    "ablation-reuse-radius": ablations.ablation_reuse_radius,
-    "ablation-k-window": ablations.ablation_k_window,
-}
+REGISTRY = {name: exp.run for name, exp in _EXPERIMENTS.items()}
 
 __all__ = ["REGISTRY"]

@@ -1,26 +1,27 @@
 """Ablations of the design choices DESIGN.md calls out.
 
-Each function isolates one knob the paper fixes by fiat and sweeps it:
+Each experiment isolates one knob the paper fixes by fiat and sweeps it:
 
-* ``ablation_upsampling``   — the SRS correlation upsampling K (paper: 4).
-* ``ablation_interpolation`` — IDW power/neighbourhood vs nearest-cell
+* ``ablation-upsampling``   — the SRS correlation upsampling K (paper: 4).
+* ``ablation-interpolation`` — IDW power/neighbourhood vs nearest-cell
   (paper: inverse-*square* distance, footnote 3).
-* ``ablation_gradient_threshold`` — the gradient-map cut quantile
+* ``ablation-gradient`` — the gradient-map cut quantile
   (paper: the median).
-* ``ablation_reuse_radius`` — the REM reuse radius R (paper: 10 m,
+* ``ablation-reuse-radius`` — the REM reuse radius R (paper: 10 m,
   from Fig. 9).
-* ``ablation_k_window``     — how many candidate cluster counts the
+* ``ablation-k-window``     — how many candidate cluster counts the
   planner weighs per epoch.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows, scenario_for, skyran_for
-from repro.experiments.placement_common import fresh_scenario, run_scheme
+from repro.experiments.common import scenario_for, skyran_for
+from repro.experiments.placement_common import fresh_scenario
+from repro.experiments.registry import register
 from repro.lte.srs import apply_channel, make_srs_symbol
 from repro.lte.tof import ToFEstimator
 from repro.rem.accuracy import median_abs_error_db
@@ -28,13 +29,20 @@ from repro.rem.interpolate import available_interpolators, make_interpolator
 from repro.sim.runner import run_epochs
 
 
-def ablation_upsampling(quick: bool = True, seed: int = 0) -> Dict:
+# -- ToF upsampling K ---------------------------------------------------------
+
+
+def grid_upsampling(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point_upsampling(params: Dict, quick: bool = True) -> Dict:
     """Ranging error and resolution vs the upsampling factor K."""
     from repro.lte.srs import SRSConfig
 
     cfg = SRSConfig()
     sym = make_srs_symbol(cfg)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(params["seed"])
     rows = []
     for k in (1, 2, 4, 8):
         est = ToFEstimator(cfg, upsampling=k)
@@ -50,10 +58,24 @@ def ablation_upsampling(quick: bool = True, seed: int = 0) -> Dict:
                 "p90_err_m": float(np.percentile(errs, 90)),
             }
         )
-    return {"rows": rows, "paper": "the paper picks K=4 as the accuracy/SNR sweet spot"}
+    return {"rows": rows}
 
 
-def ablation_interpolation(quick: bool = True, seed: int = 0) -> Dict:
+def aggregate_upsampling(records: List[Dict], quick: bool = True) -> Dict:
+    return {
+        "rows": records[0]["rows"],
+        "paper": "the paper picks K=4 as the accuracy/SNR sweet spot",
+    }
+
+
+# -- REM interpolation scheme -------------------------------------------------
+
+
+def grid_interpolation(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point_interpolation(params: Dict, quick: bool = True) -> Dict:
     """REM error for different interpolators on the same measurements.
 
     Variants are resolved through the interpolator registry (the same
@@ -61,6 +83,7 @@ def ablation_interpolation(quick: bool = True, seed: int = 0) -> Dict:
     registered beyond the named variants is swept at its defaults — a
     new interpolator joins this ablation just by registering.
     """
+    seed = params["seed"]
     scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
     grid = scenario.grid.coarsen(2)
     truth = scenario.truth_maps(60.0, grid)[0]
@@ -83,90 +106,212 @@ def ablation_interpolation(quick: bool = True, seed: int = 0) -> Dict:
         (name, name, {}) for name in available_interpolators() if name not in named
     ]
     rows = []
-    for label, name, params in variants:
-        est = make_interpolator(name, **params).interpolate(grid, values)
-        rows.append(
-            {"interp": label, "median_err_db": median_abs_error_db(est, truth)}
-        )
+    for label, name, params_ in variants:
+        est = make_interpolator(name, **params_).interpolate(grid, values)
+        rows.append({"interp": label, "median_err_db": median_abs_error_db(est, truth)})
+    return {"rows": rows}
+
+
+def aggregate_interpolation(records: List[Dict], quick: bool = True) -> Dict:
     return {
-        "rows": rows,
+        "rows": records[0]["rows"],
         "paper": "IDW with inverse-square weights; kriging/GPR buys only marginal gains",
     }
 
 
-def ablation_gradient_threshold(quick: bool = True, seeds=(0, 1)) -> Dict:
-    """Relative throughput/REM error vs the gradient cut quantile."""
+# -- gradient cut quantile ----------------------------------------------------
+
+
+def grid_gradient(quick: bool = True, seeds=(0, 1)) -> List[Dict]:
+    return [
+        {"quantile": float(q), "seed": int(seed)}
+        for q in (0.25, 0.5, 0.75, 0.9)
+        for seed in seeds
+    ]
+
+
+def point_gradient(params: Dict, quick: bool = True) -> Dict:
+    """One (quantile, seed) epoch of the gradient-threshold sweep."""
+    seed = params["seed"]
+    quantile = params["quantile"]
+    # Always quick: the ablation compares knob settings, not fidelity.
+    scenario = fresh_scenario("campus", 5, "uniform", seed, True)
+    ctrl = skyran_for(scenario, seed=seed, quick=True, gradient_quantile=quantile)
+    ctrl.altitude = 60.0
+    result = ctrl.run_epoch(budget_m=500.0)
+    rel = scenario.relative_throughput(result.placement.position)
+    truth = scenario.truth_maps(60.0, ctrl.rem_grid)
+    per_ue = [
+        median_abs_error_db(result.rem_maps[k], truth[i])
+        for i, k in enumerate(sorted(result.rem_maps))
+    ]
+    return {
+        "quantile": quantile,
+        "relative_throughput": float(rel),
+        "rem_err_db": float(np.median(per_ue)),
+    }
+
+
+def aggregate_gradient(records: List[Dict], quick: bool = True) -> Dict:
+    quantiles = []
+    for rec in records:
+        if rec["quantile"] not in quantiles:
+            quantiles.append(rec["quantile"])
     rows = []
-    for quantile in (0.25, 0.5, 0.75, 0.9):
-        rels, errs = [], []
-        for seed in seeds:
-            scenario = fresh_scenario("campus", 5, "uniform", seed, True)
-            ctrl = skyran_for(scenario, seed=seed, quick=True, gradient_quantile=quantile)
-            ctrl.altitude = 60.0
-            result = ctrl.run_epoch(budget_m=500.0)
-            rels.append(scenario.relative_throughput(result.placement.position))
-            truth = scenario.truth_maps(60.0, ctrl.rem_grid)
-            per_ue = [
-                median_abs_error_db(result.rem_maps[k], truth[i])
-                for i, k in enumerate(sorted(result.rem_maps))
-            ]
-            errs.append(float(np.median(per_ue)))
+    for quantile in quantiles:
+        group = [r for r in records if r["quantile"] == quantile]
         rows.append(
             {
                 "quantile": quantile,
-                "relative_throughput": float(np.mean(rels)),
-                "rem_err_db": float(np.mean(errs)),
+                "relative_throughput": float(
+                    np.mean([r["relative_throughput"] for r in group])
+                ),
+                "rem_err_db": float(np.mean([r["rem_err_db"] for r in group])),
             }
         )
     return {"rows": rows, "paper": "the paper cuts at the median (quantile 0.5)"}
 
 
-def ablation_reuse_radius(quick: bool = True, seeds=(0,)) -> Dict:
-    """Mobility-facing performance vs the REM reuse radius R."""
+# -- REM reuse radius R -------------------------------------------------------
+
+
+def grid_reuse_radius(quick: bool = True, seeds=(0,)) -> List[Dict]:
+    return [
+        {"radius_m": float(radius), "seed": int(seed)}
+        for radius in (0.0, 5.0, 10.0, 25.0)
+        for seed in seeds
+    ]
+
+
+def point_reuse_radius(params: Dict, quick: bool = True) -> Dict:
+    """One (radius, seed) mobility run of the reuse-radius sweep."""
+    seed = params["seed"]
+    radius = params["radius_m"]
+    scenario = fresh_scenario("campus", 5, "uniform", seed, True)
+    ctrl = skyran_for(scenario, seed=seed, quick=True, reuse_radius_m=radius)
+    ctrl.altitude = 60.0
+    records = run_epochs(
+        scenario, ctrl, 3, budget_per_epoch_m=400.0, move_fraction=0.4, seed=seed
+    )
+    return {
+        "radius_m": radius,
+        "relative_throughput": float(np.mean([r.relative_throughput for r in records[1:]])),
+        "store_hits": float(ctrl.rem_store.hits),
+    }
+
+
+def aggregate_reuse_radius(records: List[Dict], quick: bool = True) -> Dict:
+    radii = []
+    for rec in records:
+        if rec["radius_m"] not in radii:
+            radii.append(rec["radius_m"])
     rows = []
-    for radius in (0.0, 5.0, 10.0, 25.0):
-        rels, hits = [], []
-        for seed in seeds:
-            scenario = fresh_scenario("campus", 5, "uniform", seed, True)
-            ctrl = skyran_for(scenario, seed=seed, quick=True, reuse_radius_m=radius)
-            ctrl.altitude = 60.0
-            records = run_epochs(
-                scenario, ctrl, 3, budget_per_epoch_m=400.0, move_fraction=0.4, seed=seed
-            )
-            rels.append(float(np.mean([r.relative_throughput for r in records[1:]])))
-            hits.append(ctrl.rem_store.hits)
+    for radius in radii:
+        group = [r for r in records if r["radius_m"] == radius]
         rows.append(
             {
                 "radius_m": radius,
-                "relative_throughput": float(np.mean(rels)),
-                "store_hits": float(np.mean(hits)),
+                "relative_throughput": float(
+                    np.mean([r["relative_throughput"] for r in group])
+                ),
+                "store_hits": float(np.mean([r["store_hits"] for r in group])),
             }
         )
-    return {"rows": rows, "paper": "the paper picks R=10 m from the Fig. 9 tolerance curve"}
+    return {
+        "rows": rows,
+        "paper": "the paper picks R=10 m from the Fig. 9 tolerance curve",
+    }
 
 
-def ablation_k_window(quick: bool = True, seeds=(0, 1)) -> Dict:
-    """Planner candidate-window size: 1 (largest fitting K only) vs 8."""
+# -- planner candidate window -------------------------------------------------
+
+
+def grid_k_window(quick: bool = True, seeds=(0, 1)) -> List[Dict]:
+    return [
+        {"k_window": int(window), "seed": int(seed)}
+        for window in (1, 4, 8)
+        for seed in seeds
+    ]
+
+
+def point_k_window(params: Dict, quick: bool = True) -> Dict:
+    """One (window, seed) epoch of the planner-window sweep."""
+    seed = params["seed"]
+    scenario = fresh_scenario("campus", 5, "uniform", seed, True)
+    ctrl = skyran_for(scenario, seed=seed, quick=True)
+    ctrl.planner.k_window = params["k_window"]
+    ctrl.altitude = 60.0
+    result = ctrl.run_epoch(budget_m=500.0)
+    rel = scenario.relative_throughput(result.placement.position)
+    return {"k_window": params["k_window"], "relative_throughput": float(rel)}
+
+
+def aggregate_k_window(records: List[Dict], quick: bool = True) -> Dict:
+    windows = []
+    for rec in records:
+        if rec["k_window"] not in windows:
+            windows.append(rec["k_window"])
     rows = []
-    for window in (1, 4, 8):
-        rels = []
-        for seed in seeds:
-            scenario = fresh_scenario("campus", 5, "uniform", seed, True)
-            ctrl = skyran_for(scenario, seed=seed, quick=True)
-            ctrl.planner.k_window = window
-            ctrl.altitude = 60.0
-            result = ctrl.run_epoch(budget_m=500.0)
-            rels.append(scenario.relative_throughput(result.placement.position))
-        rows.append({"k_window": window, "relative_throughput": float(np.mean(rels))})
+    for window in windows:
+        group = [r for r in records if r["k_window"] == window]
+        rows.append(
+            {
+                "k_window": window,
+                "relative_throughput": float(
+                    np.mean([r["relative_throughput"] for r in group])
+                ),
+            }
+        )
     return {"rows": rows, "paper": "candidate range K_min..K_max (exact width unspecified)"}
 
 
+UPSAMPLING = register(
+    "ablation-upsampling",
+    title="Ablation — ToF upsampling K",
+    grid=grid_upsampling,
+    point=point_upsampling,
+    aggregate=aggregate_upsampling,
+)
+INTERPOLATION = register(
+    "ablation-interpolation",
+    title="Ablation — REM interpolation",
+    grid=grid_interpolation,
+    point=point_interpolation,
+    aggregate=aggregate_interpolation,
+)
+GRADIENT = register(
+    "ablation-gradient-threshold",
+    title="Ablation — gradient threshold",
+    grid=grid_gradient,
+    point=point_gradient,
+    aggregate=aggregate_gradient,
+)
+REUSE_RADIUS = register(
+    "ablation-reuse-radius",
+    title="Ablation — reuse radius R",
+    grid=grid_reuse_radius,
+    point=point_reuse_radius,
+    aggregate=aggregate_reuse_radius,
+)
+K_WINDOW = register(
+    "ablation-k-window",
+    title="Ablation — planner K window",
+    grid=grid_k_window,
+    point=point_k_window,
+    aggregate=aggregate_k_window,
+)
+
+# Legacy entrypoints: each ablation's historical function name.
+ablation_upsampling = UPSAMPLING.run
+ablation_interpolation = INTERPOLATION.run
+ablation_gradient_threshold = GRADIENT.run
+ablation_reuse_radius = REUSE_RADIUS.run
+ablation_k_window = K_WINDOW.run
+
+
 def main() -> None:
-    print_rows("Ablation — ToF upsampling K", ablation_upsampling()["rows"])
-    print_rows("Ablation — REM interpolation", ablation_interpolation()["rows"])
-    print_rows("Ablation — gradient threshold", ablation_gradient_threshold()["rows"])
-    print_rows("Ablation — reuse radius R", ablation_reuse_radius()["rows"])
-    print_rows("Ablation — planner K window", ablation_k_window()["rows"])
+    for exp in (UPSAMPLING, INTERPOLATION, GRADIENT, REUSE_RADIUS, K_WINDOW):
+        exp.main()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,161 @@
+"""Unified experiment CLI.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig8 --quick          # cached run
+    python -m repro.experiments run fig20 fig23 --workers 4
+    python -m repro.experiments run all --full            # paper scale
+    python -m repro.experiments run fig8 --no-cache       # pure compute
+    python -m repro.experiments summary fig8              # table from artifact
+
+``run`` memoizes completed grid points under the artifact store
+(``benchmarks/artifacts/experiments`` or ``$REPRO_EXP_DIR``), so a
+warm re-run skips every point computation and reproduces the result
+artifact byte for byte; ``--force`` recomputes, ``--no-cache``
+bypasses the store entirely.  ``summary`` prints the stored table
+without computing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.registry import (
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+
+
+def _resolve_names(names) -> "list[str] | None":
+    known = experiment_names()
+    if list(names) == ["all"]:
+        return known
+    bad = [n for n in names if n not in known]
+    if bad:
+        for name in bad:
+            print(
+                f"unknown experiment {name!r}; try 'python -m repro.experiments list'",
+                file=sys.stderr,
+            )
+        return None
+    return list(names)
+
+
+def _cmd_list() -> int:
+    print("Available experiments:")
+    for name in experiment_names():
+        exp = get_experiment(name)
+        print(f"  {name:<28s} {exp.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.common import print_rows
+
+    names = _resolve_names(args.experiments)
+    if names is None:
+        return 2
+    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    quick = not args.full
+    for name in names:
+        run = run_experiment(
+            name,
+            quick=quick,
+            workers=args.workers,
+            store=store,
+            force=args.force,
+        )
+        result = run.result
+        print_rows(run.experiment, result.get("rows", []), result.get("paper"))
+        status = (
+            f"   [{run.experiment}] {len(run.params)} points: "
+            f"{run.computed} computed, {run.cached} cached "
+            f"({run.workers} worker{'s' if run.workers != 1 else ''}, "
+            f"{run.wall_time_s:.1f} s)"
+        )
+        if run.artifact_path is not None:
+            status += f" -> {run.artifact_path}"
+        print(status)
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from repro.experiments.common import print_rows
+
+    names = _resolve_names(args.experiments)
+    if names is None:
+        return 2
+    store = ArtifactStore(args.cache_dir)
+    status = 0
+    for name in names:
+        artifact = store.load_experiment(name)
+        if artifact is None:
+            print(
+                f"no artifact for {name!r} under {store.root}; "
+                f"run 'python -m repro.experiments run {name}' first",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        result = artifact.get("result", {})
+        print_rows(name, result.get("rows", []), result.get("paper"))
+        fidelity = "quick" if artifact.get("quick", True) else "full"
+        print(f"   [{name}] {len(artifact.get('points', []))} points, {fidelity} fidelity")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="SkyRAN reproduction: unified cached experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run experiments (cached, parallel)")
+    run_p.add_argument(
+        "experiments", nargs="+", help="experiment names (e.g. fig20 headline) or 'all'"
+    )
+    fidelity = run_p.add_mutually_exclusive_group()
+    fidelity.add_argument(
+        "--quick", action="store_true", help="quick fidelity (the default)"
+    )
+    fidelity.add_argument(
+        "--full", action="store_true", help="paper-scale fidelity (1 m grids; slow)"
+    )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for grid points (default: $REPRO_NUM_WORKERS or serial)",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store root (default: benchmarks/artifacts/experiments or $REPRO_EXP_DIR)",
+    )
+    run_p.add_argument(
+        "--no-cache", action="store_true", help="compute in memory, write no artifacts"
+    )
+    run_p.add_argument(
+        "--force", action="store_true", help="recompute points even when cached"
+    )
+
+    sum_p = sub.add_parser("summary", help="print stored result tables")
+    sum_p.add_argument("experiments", nargs="+", help="experiment names or 'all'")
+    sum_p.add_argument("--cache-dir", default=None, help="artifact store root")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_summary(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ stay consistent with each other.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -17,7 +18,10 @@ from repro.core.config import SkyRANConfig
 from repro.core.controller import SkyRANController
 from repro.baselines.centroid import CentroidController
 from repro.baselines.uniform import UniformController
+from repro.channel.model import ChannelModel
+from repro.perf import perf
 from repro.sim.scenario import Scenario
+from repro.terrain.generators import make_terrain
 
 #: Measurement-flight ground speed (paper: 30 km/h).
 UAV_SPEED_MPS = 30.0 / 3.6
@@ -30,6 +34,34 @@ QUICK_CELL_M = 2.0
 #: REM grid pitch for quick runs.
 QUICK_REM_CELL_M = 4.0
 
+#: Per-process memo of channel oracles keyed on (terrain, cell,
+#: channel kwargs).  The channel — and therefore its LRU truth-map and
+#: prior caches — never depends on the scenario seed (only UE
+#: placement does), so every grid point of an experiment sweep that
+#: revisits a terrain shares one oracle instead of re-tracing the same
+#: maps from scratch.  Cached maps are deterministic functions of
+#: their key, so sharing never changes results.
+_CHANNEL_MEMO: "OrderedDict[tuple, ChannelModel]" = OrderedDict()
+_CHANNEL_MEMO_MAX = 6
+
+
+def shared_channel(terrain: str, cell_size: float, **channel_kwargs) -> ChannelModel:
+    """The per-process shared channel oracle for a terrain spec."""
+    key = (terrain, float(cell_size), tuple(sorted(channel_kwargs.items())))
+    model = _CHANNEL_MEMO.get(key)
+    if model is None:
+        perf.count("experiments.channel_memo.miss")
+        model = ChannelModel(
+            make_terrain(terrain, cell_size=cell_size), **channel_kwargs
+        )
+        _CHANNEL_MEMO[key] = model
+        while len(_CHANNEL_MEMO) > _CHANNEL_MEMO_MAX:
+            _CHANNEL_MEMO.popitem(last=False)
+    else:
+        perf.count("experiments.channel_memo.hit")
+        _CHANNEL_MEMO.move_to_end(key)
+    return model
+
 
 def scenario_for(
     terrain: str,
@@ -38,7 +70,13 @@ def scenario_for(
     seed: int = 0,
     quick: bool = True,
 ) -> Scenario:
-    """Standard scenario for an experiment."""
+    """Standard scenario for an experiment.
+
+    Scenarios are fresh (controllers mutate UE state), but the channel
+    oracle underneath is shared per process via :func:`shared_channel`
+    so repeated grid points on the same terrain keep its LRU map
+    caches warm.
+    """
     if terrain == "large":
         # 1 km x 1 km: coarser raster and lighter ray sampling.
         cell = 8.0 if quick else 2.0
@@ -52,7 +90,7 @@ def scenario_for(
         layout=layout,
         cell_size=cell,
         seed=seed,
-        channel_kwargs=kwargs,
+        channel=shared_channel(terrain, cell, **kwargs),
     )
 
 

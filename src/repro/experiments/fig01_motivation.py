@@ -8,11 +8,12 @@ above 26 Mb/s, and that 26 Mb/s level sits ~52% above the median.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows, scenario_for
+from repro.experiments.common import scenario_for
+from repro.experiments.registry import register
 from repro.lte.throughput import throughput_mbps
 
 #: Operating altitude of the Fig. 1 sweep.  High enough that most of
@@ -21,10 +22,18 @@ from repro.lte.throughput import throughput_mbps
 #: carve deep shadows — the texture of the paper's map.
 ALTITUDE_M = 100.0
 
+PAPER = "optimal 30.3 Mb/s, poor 3.7, ~5% of positions >= 26 Mb/s (~52% over median)"
 
-def run(quick: bool = True, seed: int = 0) -> Dict:
-    """Compute the Fig. 1 throughput map statistics."""
-    scenario = scenario_for("nyc", n_ues=20, layout="pockets", seed=seed, quick=quick)
+
+def grid(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """The Fig. 1 throughput map and its summary statistics."""
+    scenario = scenario_for(
+        "nyc", n_ues=20, layout="pockets", seed=params["seed"], quick=quick
+    )
     stack = scenario.truth_maps(ALTITUDE_M)
     tput = throughput_mbps(stack)  # (n_ue, ny, nx)
     avg_map = tput.mean(axis=0)
@@ -34,28 +43,35 @@ def run(quick: bool = True, seed: int = 0) -> Dict:
     median = float(np.median(avg_map))
     good_level = 26.0
     frac_good = float(np.mean(avg_map >= good_level))
+    row = {
+        "optimal_mbps": optimal,
+        "median_mbps": median,
+        "poor_mbps": poor,
+        "frac_ge_26mbps": frac_good,
+        "good_over_median": (good_level / median - 1.0) if median > 0 else float("inf"),
+    }
+    return {"row": row, "avg_map": avg_map, "cdf_values": np.sort(avg_map.ravel())}
 
-    rows = [
-        {
-            "optimal_mbps": optimal,
-            "median_mbps": median,
-            "poor_mbps": poor,
-            "frac_ge_26mbps": frac_good,
-            "good_over_median": (good_level / median - 1.0) if median > 0 else float("inf"),
-        }
-    ]
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    rec = records[0]
     return {
-        "rows": rows,
-        "avg_map": avg_map,
-        "cdf_values": np.sort(avg_map.ravel()),
-        "paper": "optimal 30.3 Mb/s, poor 3.7, ~5% of positions >= 26 Mb/s (~52% over median)",
+        "rows": [rec["row"]],
+        "avg_map": np.asarray(rec["avg_map"]),
+        "cdf_values": np.asarray(rec["cdf_values"]),
+        "paper": PAPER,
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 1 — UAV positioning motivation (NYC, 20 UEs)", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig1",
+    title="Fig. 1 — UAV positioning motivation (NYC, 20 UEs)",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -8,55 +8,63 @@ terrain.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows, scenario_for
+from repro.experiments.common import scenario_for
+from repro.experiments.registry import register
 from repro.geo.points import Point3D
 
 ALTITUDE_M = 60.0
 
+PAPER = "centroid achieves ~30-50% lower throughput than the optimal position"
 
-def run(quick: bool = True, seeds=(0, 1, 2, 3, 4)) -> Dict:
-    """Centroid-vs-optimal gap over several UE draws."""
-    rows = []
-    ratios = []
-    for seed in seeds:
-        scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
-        centroid_xy = np.mean([u.xyz[:2] for u in scenario.ues], axis=0)
-        centroid = Point3D(float(centroid_xy[0]), float(centroid_xy[1]), ALTITUDE_M)
-        opt_pos, opt_tput = scenario.optimal_position(ALTITUDE_M, "avg")
-        cen_tput = scenario.evaluate(centroid).avg_throughput_mbps
-        ratio = cen_tput / opt_tput if opt_tput > 0 else 0.0
-        ratios.append(ratio)
-        rows.append(
-            {
-                "seed": seed,
-                "centroid_mbps": cen_tput,
-                "optimal_mbps": opt_tput,
-                "centroid_over_optimal": ratio,
-            }
-        )
-    rows.append(
-        {
-            "seed": "mean",
-            "centroid_mbps": float(np.mean([r["centroid_mbps"] for r in rows])),
-            "optimal_mbps": float(np.mean([r["optimal_mbps"] for r in rows])),
-            "centroid_over_optimal": float(np.mean(ratios)),
-        }
-    )
+
+def grid(quick: bool = True, seeds=(0, 1, 2, 3, 4)) -> List[Dict]:
+    return [{"seed": int(s)} for s in seeds]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Centroid-vs-optimal gap for one UE draw."""
+    seed = params["seed"]
+    scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
+    centroid_xy = np.mean([u.xyz[:2] for u in scenario.ues], axis=0)
+    centroid = Point3D(float(centroid_xy[0]), float(centroid_xy[1]), ALTITUDE_M)
+    opt_pos, opt_tput = scenario.optimal_position(ALTITUDE_M, "avg")
+    cen_tput = scenario.evaluate(centroid).avg_throughput_mbps
+    ratio = cen_tput / opt_tput if opt_tput > 0 else 0.0
     return {
-        "rows": rows,
-        "mean_ratio": float(np.mean(ratios)),
-        "paper": "centroid achieves ~30-50% lower throughput than the optimal position",
+        "seed": seed,
+        "centroid_mbps": float(cen_tput),
+        "optimal_mbps": float(opt_tput),
+        "centroid_over_optimal": float(ratio),
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 3 — centroid vs optimal placement (campus, 3 UEs)", result["rows"], result["paper"])
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    rows = [dict(r) for r in records]
+    ratios = [r["centroid_over_optimal"] for r in records]
+    rows.append(
+        {
+            "seed": "mean",
+            "centroid_mbps": float(np.mean([r["centroid_mbps"] for r in records])),
+            "optimal_mbps": float(np.mean([r["optimal_mbps"] for r in records])),
+            "centroid_over_optimal": float(np.mean(ratios)),
+        }
+    )
+    return {"rows": rows, "mean_ratio": float(np.mean(ratios)), "paper": PAPER}
 
+
+EXPERIMENT = register(
+    "fig3",
+    title="Fig. 3 — centroid vs optimal placement (campus, 3 UEs)",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -9,12 +9,13 @@ up to ~4x the data-driven error (~2-4 dB).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.channel.fspl import fspl_map
-from repro.experiments.common import config_for, print_rows, scenario_for
+from repro.experiments.common import config_for, scenario_for
+from repro.experiments.registry import register
 from repro.flight.sampler import collect_snr_samples
 from repro.flight.uav import UAV
 from repro.rem.accuracy import median_abs_error_db
@@ -25,6 +26,8 @@ ALTITUDE_M = 60.0
 
 #: Fixed probing overhead for the data-driven map.
 BUDGET_M = 2500.0
+
+PAPER = "model error grows with complexity to ~10 dB, up to ~4x the data-driven ~2-4 dB"
 
 
 def _data_driven_maps(scenario, rem_grid, rng):
@@ -41,49 +44,54 @@ def _data_driven_maps(scenario, rem_grid, rng):
     return maps
 
 
-def run(quick: bool = True, seed: int = 0) -> Dict:
-    """Median REM error per terrain, data-driven vs FSPL model."""
+def grid(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"terrain_idx": idx, "seed": int(seed)} for idx in (1, 2, 3, 4)]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Median REM error on one terrain, data-driven vs FSPL model."""
+    idx = params["terrain_idx"]
+    seed = params["seed"]
     cfg = config_for(quick)
-    rows = []
-    rng = np.random.default_rng(seed)
-    for idx in (1, 2, 3, 4):
-        scenario = scenario_for(f"terrain-{idx}", n_ues=3, seed=seed, quick=quick)
-        factor = max(1, int(round(cfg.rem_cell_size_m / scenario.grid.cell_size)))
-        rem_grid = scenario.grid.coarsen(factor)
-        truth = scenario.truth_maps(ALTITUDE_M, rem_grid)
+    rng = np.random.default_rng([seed, idx])
+    scenario = scenario_for(f"terrain-{idx}", n_ues=3, seed=seed, quick=quick)
+    factor = max(1, int(round(cfg.rem_cell_size_m / scenario.grid.cell_size)))
+    rem_grid = scenario.grid.coarsen(factor)
+    truth = scenario.truth_maps(ALTITUDE_M, rem_grid)
 
-        data_maps = _data_driven_maps(scenario, rem_grid, rng)
-        data_err = float(
-            np.median(
-                [median_abs_error_db(m, truth[i]) for i, m in enumerate(data_maps)]
-            )
-        )
+    data_maps = _data_driven_maps(scenario, rem_grid, rng)
+    data_err = float(
+        np.median([median_abs_error_db(m, truth[i]) for i, m in enumerate(data_maps)])
+    )
 
-        model_errs = []
-        for i, ue in enumerate(scenario.ues):
-            pl = fspl_map(rem_grid, ue.xyz, ALTITUDE_M, scenario.channel.freq_hz)
-            model_map = scenario.channel.link.snr_db(pl)
-            model_errs.append(median_abs_error_db(model_map, truth[i]))
-        model_err = float(np.median(model_errs))
+    model_errs = []
+    for i, ue in enumerate(scenario.ues):
+        pl = fspl_map(rem_grid, ue.xyz, ALTITUDE_M, scenario.channel.freq_hz)
+        model_map = scenario.channel.link.snr_db(pl)
+        model_errs.append(median_abs_error_db(model_map, truth[i]))
+    model_err = float(np.median(model_errs))
 
-        rows.append(
-            {
-                "terrain": f"terrain-{idx}",
-                "data_driven_db": data_err,
-                "model_based_db": model_err,
-                "model_over_data": model_err / max(data_err, 1e-9),
-            }
-        )
     return {
-        "rows": rows,
-        "paper": "model error grows with complexity to ~10 dB, up to ~4x the data-driven ~2-4 dB",
+        "terrain": f"terrain-{idx}",
+        "data_driven_db": data_err,
+        "model_based_db": model_err,
+        "model_over_data": model_err / max(data_err, 1e-9),
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 4 — data-driven vs model-based REM error", result["rows"], result["paper"])
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    return {"rows": [dict(r) for r in records], "paper": PAPER}
 
+
+EXPERIMENT = register(
+    "fig4",
+    title="Fig. 4 — data-driven vs model-based REM error",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -9,12 +9,13 @@ band; SkyRAN's plan concentrates on the informative cells.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.channel.fspl import fspl_map
-from repro.experiments.common import print_rows, scenario_for
+from repro.experiments.common import scenario_for
+from repro.experiments.registry import register
 from repro.rem.aggregate import aggregate_rem
 from repro.rem.gradient import gradient_map, high_gradient_cells
 from repro.trajectory.information import TrajectoryHistory
@@ -26,6 +27,8 @@ BUDGET_M = 800.0
 
 #: A probe "covers" informative cells within this radius of its path.
 COVER_RADIUS_M = 10.0
+
+PAPER = "SkyRAN's path concentrates on informative regions (Figs. 5/16 visually)"
 
 
 def _coverage(traj, hot_xy: np.ndarray) -> float:
@@ -43,36 +46,39 @@ def _coverage(traj, hot_xy: np.ndarray) -> float:
     return float(np.mean(d <= COVER_RADIUS_M))
 
 
-def run(quick: bool = True, seed: int = 0) -> Dict:
+def grid(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
     """Informative-area coverage per trajectory family."""
+    seed = params["seed"]
     scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
-    grid = scenario.grid
+    grid_ = scenario.grid
     ue_positions = [u.xyz for u in scenario.ues]
 
     # The informative set: high-gradient cells of the true aggregate.
-    truth_maps = [
-        scenario.channel.snr_map(p, ALTITUDE_M) for p in ue_positions
-    ]
+    truth_maps = [scenario.channel.snr_map(p, ALTITUDE_M) for p in ue_positions]
     grad = gradient_map(aggregate_rem(truth_maps))
     iy, ix = high_gradient_cells(grad, 0.5)
     hot_xy = np.column_stack(
         [
-            grid.origin_x + (ix + 0.5) * grid.cell_size,
-            grid.origin_y + (iy + 0.5) * grid.cell_size,
+            grid_.origin_x + (ix + 0.5) * grid_.cell_size,
+            grid_.origin_y + (iy + 0.5) * grid_.cell_size,
         ]
     )
 
-    exhaustive = zigzag_trajectory(grid, 20.0, ALTITUDE_M, label="exhaustive")
-    uniform = zigzag_trajectory(grid, 15.0, ALTITUDE_M).truncated(BUDGET_M)
+    exhaustive = zigzag_trajectory(grid_, 20.0, ALTITUDE_M, label="exhaustive")
+    uniform = zigzag_trajectory(grid_, 15.0, ALTITUDE_M).truncated(BUDGET_M)
     prior_maps = [
-        scenario.channel.link.snr_db(fspl_map(grid, p, ALTITUDE_M))
+        scenario.channel.link.snr_db(fspl_map(grid_, p, ALTITUDE_M))
         for p in ue_positions
     ]
     plan = SkyRANPlanner(seed=seed).plan(
-        grid,
+        grid_,
         prior_maps,
         ue_positions,
-        np.array([grid.width / 2, grid.height / 2]),
+        np.array([grid_.width / 2, grid_.height / 2]),
         ALTITUDE_M,
         BUDGET_M,
         TrajectoryHistory(),
@@ -93,16 +99,22 @@ def run(quick: bool = True, seed: int = 0) -> Dict:
                 "coverage_per_km": cov / max(traj.length_m / 1000.0, 1e-9),
             }
         )
-    return {
-        "rows": rows,
-        "paper": "SkyRAN's path concentrates on informative regions (Figs. 5/16 visually)",
-    }
+    return {"rows": rows}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Figs. 5/16 — trajectory coverage of informative cells", result["rows"], result["paper"])
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    return {"rows": records[0]["rows"], "paper": PAPER}
 
+
+EXPERIMENT = register(
+    "fig5",
+    title="Figs. 5/16 — trajectory coverage of informative cells",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

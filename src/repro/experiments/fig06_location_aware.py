@@ -15,7 +15,8 @@ from typing import Dict, List
 import numpy as np
 
 from repro.channel.fspl import fspl_map
-from repro.experiments.common import config_for, print_rows, scenario_for
+from repro.experiments.common import config_for, scenario_for
+from repro.experiments.registry import register
 from repro.flight.sampler import collect_snr_samples
 from repro.flight.uav import UAV
 from repro.rem.accuracy import median_abs_error_db
@@ -25,6 +26,10 @@ from repro.trajectory.skyran import SkyRANPlanner
 from repro.trajectory.uniform import zigzag_trajectory
 
 ALTITUDE_M = 60.0
+
+DEFAULT_BUDGETS = (300.0, 600.0, 1200.0, 2400.0, 4800.0)
+
+PAPER = "at ~15% of area probed: location-aware ~5 dB vs naive ~16 dB"
 
 
 def _measure(scenario, rem_grid, rems, traj, rng):
@@ -44,63 +49,90 @@ def _error_and_fraction(rems, truth):
     return float(np.median(errs)), fraction
 
 
-def run(quick: bool = True, seed: int = 0, budgets=None) -> Dict:
-    """Error-vs-fraction curves for both probing strategies."""
+def _setup(seed: int, quick: bool):
     scenario = scenario_for("campus", n_ues=3, seed=seed, quick=quick)
     cfg = config_for(quick)
     factor = max(1, int(round(cfg.rem_cell_size_m / scenario.grid.cell_size)))
     rem_grid = scenario.grid.coarsen(factor)
     truth = scenario.truth_maps(ALTITUDE_M, rem_grid)
-    rng = np.random.default_rng(seed)
-    if budgets is None:
-        budgets = [300.0, 600.0, 1200.0, 2400.0, 4800.0]
+    return scenario, rem_grid, truth
 
-    def prior(ue_xyz):
-        pl = fspl_map(rem_grid, ue_xyz, ALTITUDE_M, scenario.channel.freq_hz)
-        return scenario.channel.link.snr_db(pl)
 
-    rows: List[Dict] = []
-    # Location-aware probing: incremental SkyRAN plans, REM state kept.
-    aware_rems = [
-        REM(rem_grid, ue.xyz, ALTITUDE_M, prior=prior(ue.xyz)) for ue in scenario.ues
+def grid(quick: bool = True, seed: int = 0, budgets=None) -> List[Dict]:
+    budgets = list(DEFAULT_BUDGETS if budgets is None else budgets)
+    # The location-aware strategy is stateful over the whole budget
+    # ladder (each plan builds on the previous REM state), so each
+    # strategy is one grid point carrying the full ladder.
+    return [
+        {"strategy": strategy, "seed": int(seed), "budgets": [float(b) for b in budgets]}
+        for strategy in ("aware", "naive")
     ]
-    planner = SkyRANPlanner(seed=seed)
-    history = TrajectoryHistory()
-    ue_positions = [ue.xyz for ue in scenario.ues]
-    start = np.array([rem_grid.origin_x + rem_grid.width / 2, rem_grid.origin_y + rem_grid.height / 2])
-    spent = 0.0
-    aware_curve = []
-    for budget in budgets:
-        increment = budget - spent
-        plan = planner.plan(
-            rem_grid,
-            [r.interpolated() for r in aware_rems],
-            ue_positions,
-            start,
-            ALTITUDE_M,
-            increment,
-            history,
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """The error-vs-fraction curve of one probing strategy."""
+    seed = params["seed"]
+    budgets = params["budgets"]
+    scenario, rem_grid, truth = _setup(seed, quick)
+    rng = np.random.default_rng(seed)
+    curve = []
+
+    if params["strategy"] == "aware":
+        # Location-aware probing: incremental SkyRAN plans, REM state kept.
+        def prior(ue_xyz):
+            pl = fspl_map(rem_grid, ue_xyz, ALTITUDE_M, scenario.channel.freq_hz)
+            return scenario.channel.link.snr_db(pl)
+
+        rems = [
+            REM(rem_grid, ue.xyz, ALTITUDE_M, prior=prior(ue.xyz)) for ue in scenario.ues
+        ]
+        planner = SkyRANPlanner(seed=seed)
+        history = TrajectoryHistory()
+        ue_positions = [ue.xyz for ue in scenario.ues]
+        start = np.array(
+            [rem_grid.origin_x + rem_grid.width / 2, rem_grid.origin_y + rem_grid.height / 2]
         )
-        _measure(scenario, rem_grid, aware_rems, plan.trajectory, rng)
-        for p in ue_positions:
-            history.record(p, plan.trajectory)
-        start = plan.trajectory.end()
-        spent = budget
-        err, frac = _error_and_fraction(aware_rems, truth)
-        aware_curve.append((frac, err))
+        spent = 0.0
+        for budget in budgets:
+            increment = budget - spent
+            plan = planner.plan(
+                rem_grid,
+                [r.interpolated() for r in rems],
+                ue_positions,
+                start,
+                ALTITUDE_M,
+                increment,
+                history,
+            )
+            _measure(scenario, rem_grid, rems, plan.trajectory, rng)
+            for p in ue_positions:
+                history.record(p, plan.trajectory)
+            start = plan.trajectory.end()
+            spent = budget
+            err, frac = _error_and_fraction(rems, truth)
+            curve.append([frac, err])
+    else:
+        # Naive probing: a dense corner-start sweep truncated at each
+        # budget, fresh REMs each time (the same flight prefix grows,
+        # so keeping state would double-count).
+        for budget in budgets:
+            naive_rems = [REM(rem_grid, ue.xyz, ALTITUDE_M) for ue in scenario.ues]
+            traj = zigzag_trajectory(rem_grid, 15.0, ALTITUDE_M).truncated(budget)
+            _measure(scenario, rem_grid, naive_rems, traj, rng)
+            err, frac = _error_and_fraction(naive_rems, truth)
+            curve.append([frac, err])
 
-    # Naive probing: a dense corner-start sweep truncated at each
-    # budget, fresh REMs each time (the same flight prefix grows, so
-    # keeping state would double-count).
-    naive_curve = []
-    for budget in budgets:
-        naive_rems = [REM(rem_grid, ue.xyz, ALTITUDE_M) for ue in scenario.ues]
-        traj = zigzag_trajectory(rem_grid, 15.0, ALTITUDE_M).truncated(budget)
-        _measure(scenario, rem_grid, naive_rems, traj, rng)
-        err, frac = _error_and_fraction(naive_rems, truth)
-        naive_curve.append((frac, err))
+    return {"strategy": params["strategy"], "budgets": budgets, "curve": curve}
 
-    for budget, (af, ae), (nf, ne) in zip(budgets, aware_curve, naive_curve):
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    by_strategy = {r["strategy"]: r for r in records}
+    aware = by_strategy["aware"]
+    naive = by_strategy["naive"]
+    aware_curve = [(f, e) for f, e in aware["curve"]]
+    naive_curve = [(f, e) for f, e in naive["curve"]]
+    rows = []
+    for budget, (af, ae), (nf, ne) in zip(aware["budgets"], aware_curve, naive_curve):
         rows.append(
             {
                 "budget_m": budget,
@@ -114,14 +146,19 @@ def run(quick: bool = True, seed: int = 0, budgets=None) -> Dict:
         "rows": rows,
         "aware_curve": aware_curve,
         "naive_curve": naive_curve,
-        "paper": "at ~15% of area probed: location-aware ~5 dB vs naive ~16 dB",
+        "paper": PAPER,
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 6 — location-aware vs naive probing", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig6",
+    title="Fig. 6 — location-aware vs naive probing",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -13,26 +13,32 @@ campus-terrain experiments exercise the same physics in the wild.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.channel.model import ChannelModel
-from repro.experiments.common import print_rows
+from repro.experiments.registry import register
 from repro.terrain.generators import make_flat
 
 ALTITUDE_M = 30.0
 SEGMENT_M = 50.0
 
+PAPER = "path loss varies 77->95 dB (~20 dB swing) over a 50 m segment"
 
-def run(quick: bool = True, seed: int = 0) -> Dict:
+
+def grid(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
     """Path loss profile across a building-shadow boundary."""
     del quick  # the controlled geometry is already tiny
     terrain = make_flat(size=250.0, cell_size=1.0, name="fig7")
     # A narrow 20 m tower; the UE stands well east of it, so the
     # tower's radio shadow is a wedge the flight crosses mid-segment.
     terrain = terrain.with_box(120.0, 112.0, 135.0, 128.0, 20.0)
-    channel = ChannelModel(terrain, seed=seed)
+    channel = ChannelModel(terrain, seed=params["seed"])
     ue_xyz = np.array([180.0, 120.0, 1.5])
     # Fly north-south well west of the tower: the middle of the
     # segment is shadowed, both ends see the UE around the tower.
@@ -43,26 +49,34 @@ def run(quick: bool = True, seed: int = 0) -> Dict:
     loss = channel.path_loss_db(positions, ue_xyz)
     arc = ys - ys[0]
     swing = float(loss.max() - loss.min())
-    rows = [
-        {
-            "min_pl_db": float(loss.min()),
-            "max_pl_db": float(loss.max()),
-            "swing_db": swing,
-            "segment_m": SEGMENT_M,
-        }
-    ]
+    row = {
+        "min_pl_db": float(loss.min()),
+        "max_pl_db": float(loss.max()),
+        "swing_db": swing,
+        "segment_m": SEGMENT_M,
+    }
+    return {"row": row, "arc_m": arc, "path_loss_db": loss}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    rec = records[0]
     return {
-        "rows": rows,
-        "arc_m": arc,
-        "path_loss_db": loss,
-        "paper": "path loss varies 77->95 dB (~20 dB swing) over a 50 m segment",
+        "rows": [rec["row"]],
+        "arc_m": np.asarray(rec["arc_m"]),
+        "path_loss_db": np.asarray(rec["path_loss_db"]),
+        "paper": PAPER,
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 7 — path loss variation along a 50 m flight", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig7",
+    title="Fig. 7 — path loss variation along a 50 m flight",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -12,24 +12,30 @@ point and the UE, 100 m horizontal offset.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.channel.model import ChannelModel
 from repro.core.placement import find_optimal_altitude
-from repro.experiments.common import print_rows
+from repro.experiments.registry import register
 from repro.terrain.generators import make_flat
 
+PAPER = "interior minimum: descending reduces loss until shadowing dominates"
 
-def run(quick: bool = True, seed: int = 0) -> Dict:
+
+def grid(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
     """Path-loss-vs-altitude profile and the tracked optimum."""
     del quick
     terrain = make_flat(size=250.0, cell_size=1.0, name="fig8")
     # A narrow 10 m structure midway: high altitudes clear it
     # easily, low altitudes graze it.
     terrain = terrain.with_box(120.0, 119.0, 126.0, 131.0, 10.0)
-    channel = ChannelModel(terrain, seed=seed)
+    channel = ChannelModel(terrain, seed=params["seed"])
     ue_xyz = np.array([150.0, 125.0, 1.5])
     hover_xy = np.array([100.0, 125.0])  # structure sits between them
 
@@ -48,27 +54,35 @@ def run(quick: bool = True, seed: int = 0) -> Dict:
 
     tracked = find_optimal_altitude(pl_at, 120.0, 10.0, 10.0)
     best = float(altitudes[int(np.argmin(losses))])
-    rows = [
-        {
-            "best_altitude_m": best,
-            "tracked_altitude_m": tracked,
-            "loss_at_best_db": float(losses.min()),
-            "loss_at_120m_db": float(losses[-1]),
-            "loss_at_10m_db": float(losses[0]),
-        }
-    ]
+    row = {
+        "best_altitude_m": best,
+        "tracked_altitude_m": tracked,
+        "loss_at_best_db": float(losses.min()),
+        "loss_at_120m_db": float(losses[-1]),
+        "loss_at_10m_db": float(losses[0]),
+    }
+    return {"row": row, "altitudes_m": altitudes, "path_loss_db": losses}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    rec = records[0]
     return {
-        "rows": rows,
-        "altitudes_m": altitudes,
-        "path_loss_db": losses,
-        "paper": "interior minimum: descending reduces loss until shadowing dominates",
+        "rows": [rec["row"]],
+        "altitudes_m": np.asarray(rec["altitudes_m"]),
+        "path_loss_db": np.asarray(rec["path_loss_db"]),
+        "paper": PAPER,
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 8 — path loss vs UAV altitude", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig8",
+    title="Fig. 8 — path loss vs UAV altitude",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -8,12 +8,13 @@ optimal; ~10 m -> ~10% loss; >=20 m -> >50% loss.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.channel.fspl import fspl_map
-from repro.experiments.common import config_for, print_rows, scenario_for
+from repro.experiments.common import config_for, scenario_for
+from repro.experiments.registry import register
 from repro.core.placement import max_min_placement
 from repro.flight.sampler import collect_snr_samples
 from repro.flight.uav import UAV
@@ -23,6 +24,8 @@ from repro.trajectory.skyran import SkyRANPlanner
 
 ALTITUDE_M = 60.0
 BUDGET_M = 600.0
+
+PAPER = "<=5 m error -> 0.9-0.95x optimal; 10 m -> ~10% loss; >=20 m -> >50% loss"
 
 
 def _placement_with_error(scenario, rem_grid, error_m, rng, seed):
@@ -65,27 +68,36 @@ def _placement_with_error(scenario, rem_grid, error_m, rng, seed):
     return scenario.relative_throughput(placement.position)
 
 
-def run(quick: bool = True, seed: int = 0, errors=(0.0, 5.0, 10.0, 15.0, 20.0, 25.0)) -> Dict:
-    """Relative throughput as a function of injected localization error."""
+def grid(quick: bool = True, seed: int = 0, errors=(0.0, 5.0, 10.0, 15.0, 20.0, 25.0)) -> List[Dict]:
+    return [{"loc_error_m": float(e), "seed": int(seed)} for e in errors]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Relative throughput at one injected localization error."""
+    seed = params["seed"]
+    err = params["loc_error_m"]
     scenario = scenario_for("campus", n_ues=7, seed=seed, quick=quick)
     cfg = config_for(quick)
     factor = max(1, int(round(cfg.rem_cell_size_m / scenario.grid.cell_size)))
     rem_grid = scenario.grid.coarsen(factor)
-    rng = np.random.default_rng(seed)
-    rows = []
-    for err in errors:
-        rel = _placement_with_error(scenario, rem_grid, err, rng, seed)
-        rows.append({"loc_error_m": float(err), "relative_throughput": rel})
-    return {
-        "rows": rows,
-        "paper": "<=5 m error -> 0.9-0.95x optimal; 10 m -> ~10% loss; >=20 m -> >50% loss",
-    }
+    rng = np.random.default_rng([seed, int(round(10 * err))])
+    rel = _placement_with_error(scenario, rem_grid, err, rng, seed)
+    return {"loc_error_m": err, "relative_throughput": float(rel)}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 9 — impact of localization error", result["rows"], result["paper"])
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    return {"rows": [dict(r) for r in records], "paper": PAPER}
 
+
+EXPERIMENT = register(
+    "fig9",
+    title="Fig. 9 — impact of localization error",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

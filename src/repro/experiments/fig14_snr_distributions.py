@@ -7,11 +7,12 @@ with distinct per-UE distributions spanning roughly -20..50 dB.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows, scenario_for
+from repro.experiments.common import scenario_for
+from repro.experiments.registry import register
 from repro.flight.sampler import collect_snr_samples
 from repro.flight.uav import UAV
 from repro.trajectory.uniform import zigzag_for_budget
@@ -19,14 +20,21 @@ from repro.trajectory.uniform import zigzag_for_budget
 ALTITUDE_M = 60.0
 BUDGET_M = 2000.0
 
+PAPER = "per-UE SNR distributions span roughly -20..50 dB with wide per-UE spread"
 
-def run(quick: bool = True, seed: int = 0) -> Dict:
+
+def grid(quick: bool = True, seed: int = 0) -> List[Dict]:
+    return [{"seed": int(seed)}]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
     """Per-UE SNR sample statistics over one measurement flight."""
+    seed = params["seed"]
     scenario = scenario_for("campus", n_ues=7, seed=seed, quick=quick)
     rng = np.random.default_rng(seed)
-    grid = scenario.grid
-    traj = zigzag_for_budget(grid, BUDGET_M, ALTITUDE_M)
-    uav = UAV(position=np.array([grid.origin_x, grid.origin_y, ALTITUDE_M]))
+    grid_ = scenario.grid
+    traj = zigzag_for_budget(grid_, BUDGET_M, ALTITUDE_M)
+    uav = UAV(position=np.array([grid_.origin_x, grid_.origin_y, ALTITUDE_M]))
     log = uav.fly(traj, rng)
     rows = []
     samples = {}
@@ -42,17 +50,24 @@ def run(quick: bool = True, seed: int = 0) -> Dict:
                 "snr_spread_db": float(np.percentile(snr, 95) - np.percentile(snr, 5)),
             }
         )
-    return {
-        "rows": rows,
-        "samples": samples,
-        "paper": "per-UE SNR distributions span roughly -20..50 dB with wide per-UE spread",
-    }
+    return {"rows": rows, "samples": samples}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 14 — per-UE SNR distributions in flight", result["rows"], result["paper"])
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    rec = records[0]
+    samples = {int(ue_id): np.asarray(snr) for ue_id, snr in rec["samples"].items()}
+    return {"rows": rec["rows"], "samples": samples, "paper": PAPER}
 
+
+EXPERIMENT = register(
+    "fig14",
+    title="Fig. 14 — per-UE SNR distributions in flight",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

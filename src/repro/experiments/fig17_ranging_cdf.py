@@ -7,24 +7,35 @@ upsampling at 10 MHz, roughly independent of the UE's environment.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import empirical_cdf, print_rows
+from repro.experiments.common import empirical_cdf
 from repro.experiments.loc_common import campus_scenario, localization_trial
+from repro.experiments.registry import register
 
 FLIGHT_M = 20.0
 
+PAPER = "median ranging error ~4-5 m over a 20 m flight, across environments"
 
-def run(quick: bool = True, seeds=(0, 1, 2, 3, 4)) -> Dict:
-    """Pooled per-UE ranging error CDFs over several flights."""
+
+def grid(quick: bool = True, seeds=(0, 1, 2, 3, 4)) -> List[Dict]:
+    return [{"seed": int(s)} for s in seeds]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Per-UE ranging errors from one localization flight."""
     scenario = campus_scenario(seed=0, quick=quick)
-    pooled: Dict[int, list] = {ue.ue_id: [] for ue in scenario.ues}
-    for seed in seeds:
-        ranging, _ = localization_trial(scenario, FLIGHT_M, seed)
-        for ue_id, errs in ranging.items():
-            pooled[ue_id].extend(errs)
+    ranging, _ = localization_trial(scenario, FLIGHT_M, params["seed"])
+    return {"ranging": {str(ue_id): list(errs) for ue_id, errs in ranging.items()}}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    pooled: Dict[int, list] = {}
+    for rec in records:
+        for ue_id, errs in rec["ranging"].items():
+            pooled.setdefault(int(ue_id), []).extend(errs)
     rows = []
     cdfs = {}
     for ue_id in sorted(pooled):
@@ -47,17 +58,18 @@ def run(quick: bool = True, seeds=(0, 1, 2, 3, 4)) -> Dict:
             "n_samples": len(all_errs),
         }
     )
-    return {
-        "rows": rows,
-        "cdfs": cdfs,
-        "paper": "median ranging error ~4-5 m over a 20 m flight, across environments",
-    }
+    return {"rows": rows, "cdfs": cdfs, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 17 — ToF ranging error CDF", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig17",
+    title="Fig. 17 — ToF ranging error CDF",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

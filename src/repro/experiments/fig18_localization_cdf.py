@@ -7,27 +7,38 @@ better than the 50-100 m of macro-cell LTE localization.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import empirical_cdf, print_rows
+from repro.experiments.common import empirical_cdf
 from repro.experiments.loc_common import campus_scenario, localization_trial
+from repro.experiments.registry import register
 
 FLIGHT_M = 20.0
 
 #: The macro-cell strawman accuracy the paper compares against.
 MACRO_CELL_ERROR_M = 75.0
 
+PAPER = "median 5-7 m; existing macro-cell techniques: 50-100 m"
 
-def run(quick: bool = True, seeds=(0, 1, 2, 3, 4, 5, 6, 7)) -> Dict:
-    """Per-UE localization error CDF over several flights."""
+
+def grid(quick: bool = True, seeds=(0, 1, 2, 3, 4, 5, 6, 7)) -> List[Dict]:
+    return [{"seed": int(s)} for s in seeds]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Per-UE localization errors from one flight."""
     scenario = campus_scenario(seed=0, quick=quick)
-    pooled: Dict[int, list] = {ue.ue_id: [] for ue in scenario.ues}
-    for seed in seeds:
-        _, pos_errs = localization_trial(scenario, FLIGHT_M, seed)
-        for ue_id, err in pos_errs.items():
-            pooled[ue_id].append(err)
+    _, pos_errs = localization_trial(scenario, FLIGHT_M, params["seed"])
+    return {"position_errors": {str(ue_id): float(err) for ue_id, err in pos_errs.items()}}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    pooled: Dict[int, list] = {}
+    for rec in records:
+        for ue_id, err in rec["position_errors"].items():
+            pooled.setdefault(int(ue_id), []).append(err)
     rows = []
     for ue_id in sorted(pooled):
         errs = np.asarray(pooled[ue_id])
@@ -57,14 +68,19 @@ def run(quick: bool = True, seeds=(0, 1, 2, 3, 4, 5, 6, 7)) -> Dict:
         "rows": rows,
         "cdf": empirical_cdf(all_errs),
         "median_m": float(np.median(all_errs)),
-        "paper": "median 5-7 m; existing macro-cell techniques: 50-100 m",
+        "paper": PAPER,
     }
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 18 — UE localization error CDF", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig18",
+    title="Fig. 18 — UE localization error CDF",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

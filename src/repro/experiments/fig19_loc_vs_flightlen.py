@@ -7,27 +7,47 @@ flights buy nothing.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows
 from repro.experiments.loc_common import campus_scenario, localization_trial
+from repro.experiments.registry import register
+
+PAPER = "error drops until ~20 m of flight, flat beyond"
 
 
-def run(
+def grid(
     quick: bool = True,
     lengths=(5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
     seeds=(0, 1, 2, 3),
-) -> Dict:
-    """Median localization error per flight length."""
+) -> List[Dict]:
+    return [
+        {"flight_m": float(length), "seed": int(seed)}
+        for length in lengths
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Localization errors of one (flight length, seed) trial."""
     scenario = campus_scenario(seed=0, quick=quick)
+    _, pos_errs = localization_trial(scenario, params["flight_m"], params["seed"])
+    return {"flight_m": params["flight_m"], "errors": [float(e) for e in pos_errs.values()]}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    by_length: Dict[float, list] = {}
+    order: List[float] = []
+    for rec in records:
+        length = rec["flight_m"]
+        if length not in by_length:
+            by_length[length] = []
+            order.append(length)
+        by_length[length].extend(rec["errors"])
     rows = []
-    for length in lengths:
-        errs = []
-        for seed in seeds:
-            _, pos_errs = localization_trial(scenario, length, seed)
-            errs.extend(pos_errs.values())
+    for length in order:
+        errs = by_length[length]
         rows.append(
             {
                 "flight_m": float(length),
@@ -35,16 +55,18 @@ def run(
                 "p90_err_m": float(np.percentile(errs, 90)),
             }
         )
-    return {
-        "rows": rows,
-        "paper": "error drops until ~20 m of flight, flat beyond",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 19 — localization error vs flight length", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig19",
+    title="Fig. 19 — localization error vs flight length",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -7,23 +7,51 @@ Uniform is still at ~7 dB after 120 s.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro.experiments.common import UAV_SPEED_MPS, print_rows
-from repro.experiments.placement_common import mean_over_seeds
+from repro.experiments.common import UAV_SPEED_MPS
+from repro.experiments.placement_common import mean_of_records, scheme_point
+from repro.experiments.registry import register
+
+PAPER = "SkyRAN ~3 dB by ~82 s; Uniform still ~7 dB at 120 s"
 
 
-def run(
+def grid(
     quick: bool = True,
     times_s=(20.0, 40.0, 60.0, 80.0, 100.0, 120.0),
     seeds=(0, 1, 2),
-) -> Dict:
-    """Median REM error per flight time for both schemes."""
+) -> List[Dict]:
+    return [
+        {"flight_time_s": float(t), "scheme": scheme, "seed": int(seed)}
+        for t in times_s
+        for scheme in ("skyran", "uniform")
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """One scheme epoch at one flight-time budget."""
+    budget = params["flight_time_s"] * UAV_SPEED_MPS
+    out = scheme_point(
+        "campus", 7, "uniform", params["scheme"], budget, params["seed"], quick
+    )
+    out["time_budget_s"] = params["flight_time_s"]
+    return out
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    times = []
+    for rec in records:
+        if rec["time_budget_s"] not in times:
+            times.append(rec["time_budget_s"])
     rows = []
-    for t in times_s:
-        budget = t * UAV_SPEED_MPS
-        sky = mean_over_seeds("campus", 7, "uniform", "skyran", budget, seeds, quick)
-        uni = mean_over_seeds("campus", 7, "uniform", "uniform", budget, seeds, quick)
+    for t in times:
+        sky = mean_of_records(
+            [r for r in records if r["time_budget_s"] == t and r["scheme"] == "skyran"]
+        )
+        uni = mean_of_records(
+            [r for r in records if r["time_budget_s"] == t and r["scheme"] == "uniform"]
+        )
         rows.append(
             {
                 "flight_time_s": t,
@@ -31,16 +59,18 @@ def run(
                 "uniform_err_db": uni["rem_error_db"],
             }
         )
-    return {
-        "rows": rows,
-        "paper": "SkyRAN ~3 dB by ~82 s; Uniform still ~7 dB at 120 s",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 20 — REM error vs measurement time", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig20",
+    title="Fig. 20 — REM error vs measurement time",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -7,23 +7,39 @@ with few UEs, "averaging out" somewhat with more UEs.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows
-from repro.experiments.placement_common import fresh_scenario, run_scheme
+from repro.experiments.placement_common import scheme_point
+from repro.experiments.registry import register
+
+PAPER = "Centroid reaches only ~0.4-0.6x of optimal, higher variance with few UEs"
 
 
-def run(quick: bool = True, ue_counts=(2, 3, 4, 5, 6, 7), seeds=(0, 1, 2, 3, 4)) -> Dict:
-    """Centroid relative throughput per UE count."""
+def grid(quick: bool = True, ue_counts=(2, 3, 4, 5, 6, 7), seeds=(0, 1, 2, 3, 4)) -> List[Dict]:
+    return [
+        {"n_ues": int(n), "seed": int(seed)} for n in ue_counts for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Centroid relative throughput for one (UE count, seed)."""
+    out = scheme_point(
+        "campus", params["n_ues"], "uniform", "centroid", 0.0, params["seed"], quick
+    )
+    out["n_ues"] = params["n_ues"]
+    return out
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    counts = []
+    for rec in records:
+        if rec["n_ues"] not in counts:
+            counts.append(rec["n_ues"])
     rows = []
-    for n in ue_counts:
-        rels = []
-        for seed in seeds:
-            scenario = fresh_scenario("campus", n, "uniform", seed, quick)
-            out = run_scheme(scenario, "centroid", budget_m=0.0, seed=seed, quick=quick)
-            rels.append(out["relative_throughput"])
+    for n in counts:
+        rels = [r["relative_throughput"] for r in records if r["n_ues"] == n]
         rows.append(
             {
                 "n_ues": n,
@@ -31,16 +47,18 @@ def run(quick: bool = True, ue_counts=(2, 3, 4, 5, 6, 7), seeds=(0, 1, 2, 3, 4))
                 "std": float(np.std(rels)),
             }
         )
-    return {
-        "rows": rows,
-        "paper": "Centroid reaches only ~0.4-0.6x of optimal, higher variance with few UEs",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 21 — Centroid relative throughput vs #UEs", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig21",
+    title="Fig. 21 — Centroid relative throughput vs #UEs",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

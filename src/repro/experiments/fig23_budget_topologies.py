@@ -9,47 +9,104 @@ to match Uniform at 1000 m.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro.experiments.common import print_rows
-from repro.experiments.placement_common import mean_over_seeds
+from repro.experiments.placement_common import mean_of_records, scheme_point
+from repro.experiments.registry import register
+
+TOPOLOGIES = (("A-uniform", "uniform"), ("B-clustered", "clustered"))
+
+PAPER = (
+    "SkyRAN ~2x Uniform at small budgets; clustered topology widens the gap "
+    "(SkyRAN ~0.95 vs Uniform ~0.7 at 1000 m)"
+)
 
 
-def run(
+def grid(
     quick: bool = True,
     budgets=(200.0, 400.0, 600.0, 800.0, 1000.0),
     seeds=(0, 1, 2),
-) -> Dict:
-    """Relative-throughput curves per topology and scheme."""
+) -> List[Dict]:
+    return [
+        {
+            "topology": topo_name,
+            "layout": layout,
+            "budget_m": float(budget),
+            "scheme": scheme,
+            "seed": int(seed),
+        }
+        for topo_name, layout in TOPOLOGIES
+        for budget in budgets
+        for scheme in ("skyran", "uniform")
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """One scheme epoch for one (topology, budget, seed)."""
+    out = scheme_point(
+        "campus",
+        7,
+        params["layout"],
+        params["scheme"],
+        params["budget_m"],
+        params["seed"],
+        quick,
+    )
+    out["topology"] = params["topology"]
+    return out
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    combos = []
+    for rec in records:
+        combo = (rec["topology"], rec["budget_m"])
+        if combo not in combos:
+            combos.append(combo)
     rows = []
     curves: Dict[str, list] = {}
-    for topo_name, layout in (("A-uniform", "uniform"), ("B-clustered", "clustered")):
-        for budget in budgets:
-            sky = mean_over_seeds("campus", 7, layout, "skyran", budget, seeds, quick)
-            uni = mean_over_seeds("campus", 7, layout, "uniform", budget, seeds, quick)
-            rows.append(
-                {
-                    "topology": topo_name,
-                    "budget_m": budget,
-                    "skyran_rel": sky["relative_throughput"],
-                    "uniform_rel": uni["relative_throughput"],
-                }
-            )
-            curves.setdefault(topo_name, []).append(
-                (budget, sky["relative_throughput"], uni["relative_throughput"])
-            )
-    return {
-        "rows": rows,
-        "curves": curves,
-        "paper": "SkyRAN ~2x Uniform at small budgets; clustered topology widens the gap "
-        "(SkyRAN ~0.95 vs Uniform ~0.7 at 1000 m)",
-    }
+    for topo_name, budget in combos:
+        sky = mean_of_records(
+            [
+                r
+                for r in records
+                if r["topology"] == topo_name
+                and r["budget_m"] == budget
+                and r["scheme"] == "skyran"
+            ]
+        )
+        uni = mean_of_records(
+            [
+                r
+                for r in records
+                if r["topology"] == topo_name
+                and r["budget_m"] == budget
+                and r["scheme"] == "uniform"
+            ]
+        )
+        rows.append(
+            {
+                "topology": topo_name,
+                "budget_m": budget,
+                "skyran_rel": sky["relative_throughput"],
+                "uniform_rel": uni["relative_throughput"],
+            }
+        )
+        curves.setdefault(topo_name, []).append(
+            (budget, sky["relative_throughput"], uni["relative_throughput"])
+        )
+    return {"rows": rows, "curves": curves, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 23 — relative throughput vs budget, topologies A/B", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig23",
+    title="Fig. 23 — relative throughput vs budget, topologies A/B",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -7,20 +7,49 @@ especially in the clustered topology.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro.experiments.common import print_rows
-from repro.experiments.placement_common import mean_over_seeds
+from repro.experiments.placement_common import mean_of_records, scheme_point
+from repro.experiments.registry import register
 
 BUDGET_M = 1000.0
 
+TOPOLOGIES = (("A-uniform", "uniform"), ("B-clustered", "clustered"))
 
-def run(quick: bool = True, seeds=(0, 1, 2)) -> Dict:
-    """Median REM error per topology and scheme at 1000 m."""
+PAPER = "SkyRAN under ~3 dB at 1000 m; Uniform several dB worse, more so when clustered"
+
+
+def grid(quick: bool = True, seeds=(0, 1, 2)) -> List[Dict]:
+    return [
+        {"topology": topo_name, "layout": layout, "scheme": scheme, "seed": int(seed)}
+        for topo_name, layout in TOPOLOGIES
+        for scheme in ("skyran", "uniform")
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """One scheme epoch at the full 1000 m budget."""
+    out = scheme_point(
+        "campus", 7, params["layout"], params["scheme"], BUDGET_M, params["seed"], quick
+    )
+    out["topology"] = params["topology"]
+    return out
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    topologies = []
+    for rec in records:
+        if rec["topology"] not in topologies:
+            topologies.append(rec["topology"])
     rows = []
-    for topo_name, layout in (("A-uniform", "uniform"), ("B-clustered", "clustered")):
-        sky = mean_over_seeds("campus", 7, layout, "skyran", BUDGET_M, seeds, quick)
-        uni = mean_over_seeds("campus", 7, layout, "uniform", BUDGET_M, seeds, quick)
+    for topo_name in topologies:
+        sky = mean_of_records(
+            [r for r in records if r["topology"] == topo_name and r["scheme"] == "skyran"]
+        )
+        uni = mean_of_records(
+            [r for r in records if r["topology"] == topo_name and r["scheme"] == "uniform"]
+        )
         rows.append(
             {
                 "topology": topo_name,
@@ -28,16 +57,18 @@ def run(quick: bool = True, seeds=(0, 1, 2)) -> Dict:
                 "uniform_err_db": uni["rem_error_db"],
             }
         )
-    return {
-        "rows": rows,
-        "paper": "SkyRAN under ~3 dB at 1000 m; Uniform several dB worse, more so when clustered",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 24 — median REM accuracy at 1000 m budget", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig24",
+    title="Fig. 24 — median REM accuracy at 1000 m budget",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -9,19 +9,23 @@ Uniform in both cases.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import UAV_SPEED_MPS, print_rows
+from repro.experiments.common import UAV_SPEED_MPS, skyran_for, uniform_for
 from repro.experiments.placement_common import fresh_scenario
-from repro.experiments.common import skyran_for, uniform_for
+from repro.experiments.registry import register
 from repro.sim.runner import overhead_to_target, run_epochs
 
 ALTITUDE_M = 60.0
 EPOCH_BUDGET_M = 300.0
 MAX_EPOCHS = 8
 TARGET = 0.9
+
+MODES = (("STATIC", 0.0), ("DYNAMIC", 0.5))
+
+PAPER = "SkyRAN ~100 s static / ~6 min dynamic, about half of Uniform"
 
 
 def _time_to_target(terrain, scheme, move_fraction, seed, quick) -> float:
@@ -50,12 +54,28 @@ def _time_to_target(terrain, scheme, move_fraction, seed, quick) -> float:
     return d / UAV_SPEED_MPS
 
 
-def run(quick: bool = True, seeds=(0, 1, 2)) -> Dict:
-    """Mean flight time to 0.9x optimal per scheme and dynamics mode."""
+def grid(quick: bool = True, seeds=(0, 1, 2)) -> List[Dict]:
+    return [
+        {"mode": mode, "move_fraction": frac, "scheme": scheme, "seed": int(seed)}
+        for mode, frac in MODES
+        for scheme in ("skyran", "uniform")
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Flight time to 0.9x optimal for one (mode, scheme, seed)."""
+    time_s = _time_to_target(
+        "nyc", params["scheme"], params["move_fraction"], params["seed"], quick
+    )
+    return {"mode": params["mode"], "scheme": params["scheme"], "time_s": float(time_s)}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
     rows = []
-    for mode, frac in (("STATIC", 0.0), ("DYNAMIC", 0.5)):
-        sky = [_time_to_target("nyc", "skyran", frac, s, quick) for s in seeds]
-        uni = [_time_to_target("nyc", "uniform", frac, s, quick) for s in seeds]
+    for mode, _ in MODES:
+        sky = [r["time_s"] for r in records if r["mode"] == mode and r["scheme"] == "skyran"]
+        uni = [r["time_s"] for r in records if r["mode"] == mode and r["scheme"] == "uniform"]
         rows.append(
             {
                 "mode": mode,
@@ -64,16 +84,18 @@ def run(quick: bool = True, seeds=(0, 1, 2)) -> Dict:
                 "uniform_over_skyran": float(np.mean(uni) / max(np.mean(sky), 1e-9)),
             }
         )
-    return {
-        "rows": rows,
-        "paper": "SkyRAN ~100 s static / ~6 min dynamic, about half of Uniform",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 26 — overhead to reach 0.9x optimal (NYC)", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig26",
+    title="Fig. 26 — overhead to reach 0.9x optimal (NYC)",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

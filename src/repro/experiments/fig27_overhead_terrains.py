@@ -7,12 +7,13 @@ well under Uniform everywhere except the trivially flat RURAL case.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import UAV_SPEED_MPS, print_rows, skyran_for, uniform_for
+from repro.experiments.common import UAV_SPEED_MPS, skyran_for, uniform_for
 from repro.experiments.placement_common import fresh_scenario
+from repro.experiments.registry import register
 from repro.sim.runner import overhead_to_target, run_epochs
 
 ALTITUDE_M = 60.0
@@ -21,6 +22,8 @@ TARGET = 0.9
 
 #: Larger terrains get proportionally larger per-epoch budgets.
 EPOCH_BUDGETS = {"rural": 250.0, "nyc": 300.0, "large": 1200.0}
+
+PAPER = "overhead grows with terrain scale; SkyRAN below Uniform in NYC/LARGE"
 
 
 def _time_to_target(terrain, scheme, seed, quick) -> float:
@@ -45,12 +48,26 @@ def _time_to_target(terrain, scheme, seed, quick) -> float:
     return d / UAV_SPEED_MPS
 
 
-def run(quick: bool = True, seeds=(0, 1)) -> Dict:
-    """Mean flight time to 0.9x optimal per terrain and scheme."""
+def grid(quick: bool = True, seeds=(0, 1)) -> List[Dict]:
+    return [
+        {"terrain": terrain, "scheme": scheme, "seed": int(seed)}
+        for terrain in ("rural", "nyc", "large")
+        for scheme in ("skyran", "uniform")
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """Flight time to 0.9x optimal for one (terrain, scheme, seed)."""
+    time_s = _time_to_target(params["terrain"], params["scheme"], params["seed"], quick)
+    return {"terrain": params["terrain"], "scheme": params["scheme"], "time_s": float(time_s)}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
     rows = []
     for terrain in ("rural", "nyc", "large"):
-        sky = [_time_to_target(terrain, "skyran", s, quick) for s in seeds]
-        uni = [_time_to_target(terrain, "uniform", s, quick) for s in seeds]
+        sky = [r["time_s"] for r in records if r["terrain"] == terrain and r["scheme"] == "skyran"]
+        uni = [r["time_s"] for r in records if r["terrain"] == terrain and r["scheme"] == "uniform"]
         rows.append(
             {
                 "terrain": terrain,
@@ -58,16 +75,18 @@ def run(quick: bool = True, seeds=(0, 1)) -> Dict:
                 "uniform_time_min": float(np.mean(uni)) / 60.0,
             }
         )
-    return {
-        "rows": rows,
-        "paper": "overhead grows with terrain scale; SkyRAN below Uniform in NYC/LARGE",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 27 — overhead to 0.9x optimal per terrain", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig27",
+    title="Fig. 27 — overhead to 0.9x optimal per terrain",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -1,39 +1,47 @@
 """Fig. 30 — median REM accuracy at the 5000 m budget, by terrain.
 
 A focused view of the REM columns of the Fig. 29 run (same procedure:
-half the UEs move per epoch, 5000 m total across epochs).  Paper:
-SkyRAN's maps are several dB better than Uniform's on NYC and LARGE.
+half the UEs move per epoch, 5000 m total across epochs).  Registers
+Fig. 29's point function, so both figures share one set of cached
+point computations in the artifact store.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro.experiments.common import print_rows
-from repro.experiments.fig29_budget_terrains import run as run_fig29
+import numpy as np
 
+from repro.experiments.fig29_budget_terrains import TERRAINS, grid, point
+from repro.experiments.registry import register
 
-def run(quick: bool = True, seeds=(0, 1)) -> Dict:
-    """REM-error rows extracted from the shared 5000 m-budget run."""
-    base = run_fig29(quick=quick, seeds=seeds)
-    rows = [
-        {
-            "terrain": r["terrain"],
-            "skyran_rem_db": r["skyran_rem_db"],
-            "uniform_rem_db": r["uniform_rem_db"],
-        }
-        for r in base["rows"]
-    ]
-    return {
-        "rows": rows,
-        "paper": "SkyRAN REMs several dB more accurate than Uniform on NYC/LARGE",
-    }
+PAPER = "SkyRAN REMs several dB more accurate than Uniform on NYC/LARGE"
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 30 — median REM accuracy at 5000 m budget", result["rows"], result["paper"])
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    rows = []
+    for terrain in TERRAINS:
+        sky = [r for r in records if r["terrain"] == terrain and r["scheme"] == "skyran"]
+        uni = [r for r in records if r["terrain"] == terrain and r["scheme"] == "uniform"]
+        rows.append(
+            {
+                "terrain": terrain,
+                "skyran_rem_db": float(np.mean([r["rem_error_db"] for r in sky])),
+                "uniform_rem_db": float(np.mean([r["rem_error_db"] for r in uni])),
+            }
+        )
+    return {"rows": rows, "paper": PAPER}
 
+
+EXPERIMENT = register(
+    "fig30",
+    title="Fig. 30 — median REM accuracy at 5000 m budget",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -8,17 +8,20 @@ above Uniform throughout.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import print_rows, skyran_for, uniform_for
+from repro.experiments.common import skyran_for, uniform_for
 from repro.experiments.placement_common import fresh_scenario
+from repro.experiments.registry import register
 from repro.sim.runner import run_epochs
 
 ALTITUDE_M = 60.0
 TOTAL_BUDGET_M = 5000.0
 N_EPOCHS = 5
+
+PAPER = "SkyRAN improves with UE count up to ~8 and stays above Uniform"
 
 
 def _run_one(n_ues: int, scheme: str, seed: int, quick: bool) -> float:
@@ -40,23 +43,53 @@ def _run_one(n_ues: int, scheme: str, seed: int, quick: bool) -> float:
     return float(np.mean([r.relative_throughput for r in tail]))
 
 
-def run(quick: bool = True, ue_counts=(2, 4, 6, 8, 10), seeds=(0, 1)) -> Dict:
-    """Relative throughput per UE count for both schemes."""
+def grid(quick: bool = True, ue_counts=(2, 4, 6, 8, 10), seeds=(0, 1)) -> List[Dict]:
+    return [
+        {"n_ues": int(n), "scheme": scheme, "seed": int(seed)}
+        for n in ue_counts
+        for scheme in ("skyran", "uniform")
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """One (UE count, scheme, seed) run under the 5000 m budget."""
+    rel = _run_one(params["n_ues"], params["scheme"], params["seed"], quick)
+    return {"n_ues": params["n_ues"], "scheme": params["scheme"], "relative_throughput": rel}
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    counts = []
+    for rec in records:
+        if rec["n_ues"] not in counts:
+            counts.append(rec["n_ues"])
     rows = []
-    for n in ue_counts:
-        sky = float(np.mean([_run_one(n, "skyran", s, quick) for s in seeds]))
-        uni = float(np.mean([_run_one(n, "uniform", s, quick) for s in seeds]))
-        rows.append({"n_ues": n, "skyran_rel": sky, "uniform_rel": uni})
-    return {
-        "rows": rows,
-        "paper": "SkyRAN improves with UE count up to ~8 and stays above Uniform",
-    }
+    for n in counts:
+        sky = [
+            r["relative_throughput"]
+            for r in records
+            if r["n_ues"] == n and r["scheme"] == "skyran"
+        ]
+        uni = [
+            r["relative_throughput"]
+            for r in records
+            if r["n_ues"] == n and r["scheme"] == "uniform"
+        ]
+        rows.append(
+            {"n_ues": n, "skyran_rel": float(np.mean(sky)), "uniform_rel": float(np.mean(uni))}
+        )
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Fig. 31 — relative throughput vs #UEs (NYC)", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "fig31",
+    title="Fig. 31 — relative throughput vs #UEs (NYC)",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -7,32 +7,49 @@ budget and ~1.5x Centroid.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import UAV_SPEED_MPS, print_rows
-from repro.experiments.placement_common import fresh_scenario, run_scheme
+from repro.experiments.common import UAV_SPEED_MPS
+from repro.experiments.placement_common import scheme_point
+from repro.experiments.registry import register
 
 #: "about 30 secs of a measurement flight" at 30 km/h.
 HEADLINE_BUDGET_M = 30.0 * UAV_SPEED_MPS
 
+SCHEMES = ("skyran", "uniform", "centroid")
 
-def run(quick: bool = True, seeds=(0, 1, 2, 3), budget_m: float = None) -> Dict:
-    """SkyRAN vs Uniform vs Centroid at the headline budget."""
-    budget = HEADLINE_BUDGET_M if budget_m is None else budget_m
-    out = {"skyran": [], "uniform": [], "centroid": []}
-    for seed in seeds:
-        for scheme in out:
-            scenario = fresh_scenario("campus", 7, "uniform", seed, quick)
-            res = run_scheme(scenario, scheme, budget, seed=seed, quick=quick)
-            out[scheme].append(res["relative_throughput"])
-    sky = float(np.mean(out["skyran"]))
-    uni = float(np.mean(out["uniform"]))
-    cen = float(np.mean(out["centroid"]))
+PAPER = "SkyRAN 0.9-0.95x optimal with ~30 s flight; ~2x Uniform, ~1.5x Centroid"
+
+
+def grid(quick: bool = True, seeds=(0, 1, 2, 3), budget_m: float = None) -> List[Dict]:
+    budget = HEADLINE_BUDGET_M if budget_m is None else float(budget_m)
+    return [
+        {"scheme": scheme, "seed": int(seed), "budget_m": budget}
+        for scheme in SCHEMES
+        for seed in seeds
+    ]
+
+
+def point(params: Dict, quick: bool = True) -> Dict:
+    """One scheme epoch at the headline budget."""
+    return scheme_point(
+        "campus", 7, "uniform", params["scheme"], params["budget_m"], params["seed"], quick
+    )
+
+
+def aggregate(records: List[Dict], quick: bool = True) -> Dict:
+    means = {
+        scheme: float(
+            np.mean([r["relative_throughput"] for r in records if r["scheme"] == scheme])
+        )
+        for scheme in SCHEMES
+    }
+    sky, uni, cen = means["skyran"], means["uniform"], means["centroid"]
     rows = [
         {
-            "budget_m": budget,
+            "budget_m": records[0]["budget_m"],
             "skyran_rel": sky,
             "uniform_rel": uni,
             "centroid_rel": cen,
@@ -40,16 +57,18 @@ def run(quick: bool = True, seeds=(0, 1, 2, 3), budget_m: float = None) -> Dict:
             "sky_over_centroid": sky / max(cen, 1e-9),
         }
     ]
-    return {
-        "rows": rows,
-        "paper": "SkyRAN 0.9-0.95x optimal with ~30 s flight; ~2x Uniform, ~1.5x Centroid",
-    }
+    return {"rows": rows, "paper": PAPER}
 
 
-def main() -> None:
-    result = run()
-    print_rows("Headline — SkyRAN vs baselines at ~30 s budget", result["rows"], result["paper"])
-
+EXPERIMENT = register(
+    "headline",
+    title="Headline — SkyRAN vs baselines at ~30 s budget",
+    grid=grid,
+    point=point,
+    aggregate=aggregate,
+)
+run = EXPERIMENT.run
+main = EXPERIMENT.main
 
 if __name__ == "__main__":
     main()

@@ -58,6 +58,40 @@ def fresh_scenario(terrain: str, n_ues: int, layout: str, seed: int, quick: bool
     return scenario_for(terrain, n_ues=n_ues, layout=layout, seed=seed, quick=quick)
 
 
+def scheme_point(
+    terrain: str,
+    n_ues: int,
+    layout: str,
+    scheme: str,
+    budget_m: float,
+    seed: int,
+    quick: bool = True,
+    altitude: Optional[float] = TESTBED_ALTITUDE_M,
+    faults=None,
+) -> Dict:
+    """One (scheme, seed) grid point: fresh scenario + one epoch.
+
+    The unit of work the experiment registry caches and parallelizes
+    for every placement/budget figure.
+    """
+    scenario = fresh_scenario(terrain, n_ues, layout, seed, quick)
+    out = run_scheme(
+        scenario, scheme, budget_m, seed=seed, quick=quick, altitude=altitude, faults=faults
+    )
+    out["seed"] = seed
+    return out
+
+
+def mean_of_records(records) -> Dict:
+    """Fold per-seed scheme records into the mean the figures report."""
+    errs = [float(r["rem_error_db"]) for r in records]
+    return {
+        "relative_throughput": float(np.mean([r["relative_throughput"] for r in records])),
+        "rem_error_db": float(np.nanmean(errs)) if not all(np.isnan(errs)) else float("nan"),
+        "flight_time_s": float(np.mean([r["flight_time_s"] for r in records])),
+    }
+
+
 def mean_over_seeds(
     terrain: str,
     n_ues: int,
@@ -69,17 +103,11 @@ def mean_over_seeds(
     altitude: Optional[float] = TESTBED_ALTITUDE_M,
 ) -> Dict:
     """Average scheme performance over several scenario/controller seeds."""
-    rels, errs, times = [], [], []
-    for seed in seeds:
-        scenario = fresh_scenario(terrain, n_ues, layout, seed, quick)
-        out = run_scheme(scenario, scheme, budget_m, seed=seed, quick=quick, altitude=altitude)
-        rels.append(out["relative_throughput"])
-        errs.append(out["rem_error_db"])
-        times.append(out["flight_time_s"])
-    return {
-        "scheme": scheme,
-        "budget_m": budget_m,
-        "relative_throughput": float(np.mean(rels)),
-        "rem_error_db": float(np.nanmean(errs)) if not all(np.isnan(errs)) else float("nan"),
-        "flight_time_s": float(np.mean(times)),
-    }
+    records = [
+        scheme_point(terrain, n_ues, layout, scheme, budget_m, seed, quick, altitude)
+        for seed in seeds
+    ]
+    out = mean_of_records(records)
+    out["scheme"] = scheme
+    out["budget_m"] = budget_m
+    return out

@@ -1,0 +1,274 @@
+"""Experiment registry and the cached, parallel grid runner.
+
+Every figure module registers one :class:`Experiment` — a ``(name,
+grid, point, aggregate)`` tuple — instead of hand-rolling its own
+``main()`` loop:
+
+* ``grid(quick=..., **overrides)`` expands the figure's parameter
+  grid into a list of JSON-able point-parameter dicts (the overrides
+  are the figure's historical ``run()`` keyword arguments: ``seeds``,
+  ``budgets``, ...);
+* ``point(params, quick)`` computes ONE grid point and returns a
+  JSON-able record — it must be a module-level function (so worker
+  processes can import it) and depend only on ``params``/``quick``;
+* ``aggregate(records, quick)`` folds the point records into the
+  figure's historical result dict (``rows`` + ``paper`` + any extra
+  series, numpy arrays welcome).
+
+:func:`run_experiment` is the one runner behind the ``python -m
+repro.experiments`` CLI, the legacy per-module ``run()`` functions and
+the smoke gates.  It fans grid points out over a process pool
+(``REPRO_NUM_WORKERS``, the same convention as the channel map
+oracle), shares the per-process channel-oracle LRU caches across
+points (see :func:`repro.experiments.common.scenario_for`), and
+memoizes completed points in the on-disk
+:class:`~repro.experiments.artifacts.ArtifactStore` so re-runs are
+incremental.  Point records are always passed through a JSON round
+trip before aggregation, which is what makes a warm-cache re-run
+bit-identical to a cold one.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.artifacts import (
+    EXPERIMENT_SCHEMA,
+    PERF_SCHEMA,
+    ArtifactStore,
+    code_fingerprint,
+    point_key,
+    roundtrip,
+)
+from repro.perf import perf
+
+#: Registration order is preserved; the CLI lists experiments in it.
+_EXPERIMENTS: Dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered figure: its grid, point function and aggregator."""
+
+    name: str
+    title: str
+    grid: Callable[..., List[Dict]]
+    point: Callable[[Dict, bool], Dict]
+    aggregate: Callable[[List[Dict], bool], Dict]
+
+    @property
+    def point_id(self) -> str:
+        """Module-qualified point-function name (the cache identity).
+
+        Figures that share a point function (Figs. 29/30) share cache
+        entries; renaming or moving the function misses cleanly.
+        """
+        return f"{self.point.__module__}.{self.point.__qualname__}"
+
+    def run(self, quick: bool = True, **overrides) -> Dict:
+        """The figure's historical ``run()`` contract.
+
+        In-process, no disk cache: exactly what the benchmark suite
+        and the unit tests have always called.
+        """
+        return run_experiment(self, quick=quick, overrides=overrides).result
+
+    def main(self) -> None:
+        """Script-style entrypoint printing the figure's rows."""
+        from repro.experiments.common import print_rows
+
+        result = self.run()
+        print_rows(self.title, result.get("rows", []), result.get("paper"))
+
+
+def register(
+    name: str,
+    *,
+    title: str,
+    grid: Callable[..., List[Dict]],
+    point: Callable[[Dict, bool], Dict],
+    aggregate: Callable[[List[Dict], bool], Dict],
+) -> Experiment:
+    """Register a figure; returns the :class:`Experiment` handle.
+
+    Re-registering a name overwrites (module reloads are harmless).
+    """
+    exp = Experiment(name=name, title=title, grid=grid, point=point, aggregate=aggregate)
+    _EXPERIMENTS[name] = exp
+    return exp
+
+
+def get_experiment(name: str) -> Optional[Experiment]:
+    ensure_loaded()
+    return _EXPERIMENTS.get(name)
+
+
+def experiment_names() -> List[str]:
+    ensure_loaded()
+    return list(_EXPERIMENTS)
+
+
+def ensure_loaded() -> None:
+    """Import every figure module so registrations are populated."""
+    import repro.experiments  # noqa: F401  (import side effect)
+
+
+def _pool_point(task) -> Dict:
+    """Process-pool worker: compute one grid point by experiment name."""
+    name, params, quick = task
+    ensure_loaded()
+    exp = _EXPERIMENTS[name]
+    return roundtrip(exp.point(params, quick))
+
+
+@dataclass
+class ExperimentRun:
+    """Everything one :func:`run_experiment` invocation produced."""
+
+    experiment: str
+    quick: bool
+    overrides: Dict
+    params: List[Dict]
+    keys: List[str]
+    records: List[Dict]
+    result: Dict
+    computed: int
+    cached: int
+    workers: int
+    wall_time_s: float
+    perf_delta: Dict = field(default_factory=dict)
+    artifact_path: Optional[Path] = None
+    perf_artifact_path: Optional[Path] = None
+
+
+def run_experiment(
+    experiment: "Experiment | str",
+    quick: bool = True,
+    overrides: Optional[Dict] = None,
+    workers: Optional[int] = None,
+    store: Optional[ArtifactStore] = None,
+    force: bool = False,
+) -> ExperimentRun:
+    """Run one figure's grid with caching and optional parallelism.
+
+    Parameters
+    ----------
+    experiment:
+        An :class:`Experiment` or a registered name.
+    quick:
+        Fidelity flag threaded to grid and point functions.
+    overrides:
+        Grid keyword overrides (the figure's historical ``run()``
+        kwargs — ``seeds``, ``budgets``, ...).
+    workers:
+        Process-pool width for missing points; defaults to the
+        ``REPRO_NUM_WORKERS`` convention (serial when unset, keeping
+        results reproducible run-to-run on any machine — parallel
+        output is bit-identical regardless).
+    store:
+        On-disk :class:`ArtifactStore`; None disables caching and
+        artifact output (the in-process ``run()`` default).
+    force:
+        Recompute every point even when cached.
+    """
+    from repro.channel.model import default_num_workers
+
+    if isinstance(experiment, str):
+        exp = get_experiment(experiment)
+        if exp is None:
+            raise KeyError(f"unknown experiment {experiment!r}")
+    else:
+        exp = experiment
+    overrides = dict(overrides or {})
+
+    t0 = time.perf_counter()
+    perf_before = perf.snapshot()
+    params = [roundtrip(p) for p in exp.grid(quick=quick, **overrides)]
+    fingerprint = code_fingerprint()
+    keys = [point_key(exp.point_id, p, quick, fingerprint) for p in params]
+
+    records: List[Optional[Dict]] = [None] * len(params)
+    missing: List[int] = []
+    if store is not None and not force:
+        for idx, key in enumerate(keys):
+            cached_record = store.load_point(key)
+            if cached_record is not None:
+                records[idx] = cached_record
+                perf.count("experiments.point.cache_hit")
+            else:
+                missing.append(idx)
+    else:
+        missing = list(range(len(params)))
+
+    n_workers = default_num_workers() if workers is None else max(1, int(workers))
+    with perf.span("experiments.points"):
+        if len(missing) > 1 and n_workers > 1:
+            tasks = [(exp.name, params[i], quick) for i in missing]
+            with ProcessPoolExecutor(max_workers=min(n_workers, len(missing))) as pool:
+                for idx, record in zip(missing, pool.map(_pool_point, tasks)):
+                    records[idx] = record
+                    perf.count("experiments.point.computed")
+        else:
+            for idx in missing:
+                records[idx] = roundtrip(exp.point(params[idx], quick))
+                perf.count("experiments.point.computed")
+
+    if store is not None:
+        for idx in missing:
+            store.save_point(keys[idx], exp.point_id, params[idx], quick, records[idx])
+
+    with perf.span("experiments.aggregate"):
+        result = exp.aggregate(records, quick)
+
+    wall = time.perf_counter() - t0
+    run = ExperimentRun(
+        experiment=exp.name,
+        quick=quick,
+        overrides=overrides,
+        params=params,
+        keys=keys,
+        records=records,
+        result=result,
+        computed=len(missing),
+        cached=len(params) - len(missing),
+        workers=n_workers,
+        wall_time_s=wall,
+        perf_delta=perf.snapshot_since(perf_before),
+    )
+    if store is not None:
+        artifact = {
+            "schema": EXPERIMENT_SCHEMA,
+            "experiment": exp.name,
+            "title": exp.title,
+            "quick": quick,
+            "fingerprint": fingerprint,
+            "overrides": roundtrip(overrides),
+            "points": [
+                {"key": key, "params": p, "record": r}
+                for key, p, r in zip(keys, params, records)
+            ],
+            "result": roundtrip(result),
+        }
+        run.artifact_path = store.save_experiment(exp.name, artifact)
+        # Wall times and cache-hit splits are honest measurements of
+        # THIS run — they live in a sidecar so the result artifact
+        # stays byte-identical across warm re-runs.
+        run.perf_artifact_path = store.save_perf(
+            exp.name,
+            {
+                "schema": PERF_SCHEMA,
+                "experiment": exp.name,
+                "quick": quick,
+                "wall_time_s": wall,
+                "workers": n_workers,
+                "points_total": len(params),
+                "points_computed": run.computed,
+                "points_cached": run.cached,
+                "perf": run.perf_delta,
+            },
+        )
+    return run

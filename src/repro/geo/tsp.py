@@ -57,9 +57,17 @@ def _nearest_neighbour(dist: np.ndarray, start: int) -> List[int]:
 
 
 def _two_opt(order: List[int], dist: np.ndarray, max_rounds: int = 20) -> List[int]:
-    """Classic 2-opt improvement on an open tour."""
+    """2-opt improvement on an open tour.
+
+    For every anchor edge ``(a, b) = (order[i], order[i+1])`` two move
+    families are tried: reversing an interior segment
+    ``order[i+1:j+1]`` (replacing edges ``(a,b)`` and ``(c,d)`` with
+    ``(a,c)`` and ``(b,d)``), and reversing the tail ``order[i+1:]``
+    — on an *open* tour the tail flip only replaces ``(a,b)`` with
+    ``(a, last)``, a move the closed-tour formulation never proposes.
+    """
     n = len(order)
-    if n < 4:
+    if n < 3:
         return order
     improved = True
     rounds = 0
@@ -75,7 +83,16 @@ def _two_opt(order: List[int], dist: np.ndarray, max_rounds: int = 20) -> List[i
                 delta = (dist[a, c] + dist[b, d]) - (dist[a, b] + dist[c, d])
                 if delta < -1e-12:
                     order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+                    # The reversal moves c next to a: the anchor edge
+                    # is now (a, c), and later deltas in this i pass
+                    # must be scored against it, not the removed
+                    # (a, b) edge.
+                    b = order[i + 1]
                     improved = True
+            last = order[-1]
+            if dist[a, last] - dist[a, b] < -1e-12:
+                order[i + 1 :] = reversed(order[i + 1 :])
+                improved = True
     return order
 
 

@@ -93,6 +93,45 @@ class PerfRegistry:
         with self._lock:
             return {k: SpanStat(v.calls, v.total_s) for k, v in self._spans.items()}
 
+    def counters_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Positive counter deltas since a ``counters()`` snapshot.
+
+        The canonical way to attribute counter activity to one region
+        of code without resetting the registry under other readers.
+        """
+        return {
+            name: count - before.get(name, 0)
+            for name, count in sorted(self.counters().items())
+            if count - before.get(name, 0) > 0
+        }
+
+    def snapshot_since(self, before: Dict) -> Dict:
+        """Span/counter deltas since a ``snapshot()``, snapshot-shaped.
+
+        Spans subtract calls and total time; counters subtract values.
+        Entries that did not change are dropped.
+        """
+        now = self.snapshot()
+        before_spans = before.get("spans", {})
+        spans = {}
+        for name, stat in now["spans"].items():
+            prior = before_spans.get(name, {"calls": 0, "total_s": 0.0})
+            calls = stat["calls"] - prior["calls"]
+            total = stat["total_s"] - prior["total_s"]
+            if calls > 0:
+                spans[name] = {
+                    "calls": calls,
+                    "total_s": total,
+                    "mean_s": total / calls,
+                }
+        before_counters = before.get("counters", {})
+        counters = {
+            name: value - before_counters.get(name, 0)
+            for name, value in now["counters"].items()
+            if value - before_counters.get(name, 0) > 0
+        }
+        return {"spans": spans, "counters": counters}
+
     def snapshot(self) -> Dict:
         """JSON-ready dict of every span and counter."""
         with self._lock:

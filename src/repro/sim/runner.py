@@ -321,18 +321,10 @@ def run_simulation(
         seed=seed,
         on_epoch=on_epoch,
     )
-    deltas = {
-        name: count - before.get(name, 0)
-        for name, count in perf.counters().items()
-        if count - before.get(name, 0) > 0
-    }
+    deltas = perf.counters_since(before)
     return RunResult(
         scheme=scheme,
         records=tuple(records),
-        fault_counters={
-            k: v for k, v in sorted(deltas.items()) if k.startswith("faults.")
-        },
-        fallback_counters={
-            k: v for k, v in sorted(deltas.items()) if k.startswith("fallback.")
-        },
+        fault_counters={k: v for k, v in deltas.items() if k.startswith("faults.")},
+        fallback_counters={k: v for k, v in deltas.items() if k.startswith("fallback.")},
     )

@@ -77,6 +77,7 @@ class Scenario:
         eval_cell_size: Optional[float] = None,
         seed: int = 0,
         channel_kwargs: Optional[dict] = None,
+        channel: Optional[ChannelModel] = None,
     ) -> "Scenario":
         """Build a scenario.
 
@@ -100,10 +101,20 @@ class Scenario:
             Seed for UE placement.
         channel_kwargs:
             Extra :class:`ChannelModel` parameters.
+        channel:
+            A prebuilt :class:`ChannelModel` to use instead of
+            constructing one.  Lets callers (the experiment runner)
+            share one channel — and its LRU map-oracle caches — across
+            scenarios that differ only in UE seed/layout.  The
+            scenario's terrain is taken from the channel; ``terrain``
+            and ``channel_kwargs`` are ignored.
         """
-        if isinstance(terrain, str):
-            terrain = make_terrain(terrain, cell_size=cell_size)
-        channel = ChannelModel(terrain, **(channel_kwargs or {}))
+        if channel is not None:
+            terrain = channel.terrain
+        else:
+            if isinstance(terrain, str):
+                terrain = make_terrain(terrain, cell_size=cell_size)
+            channel = ChannelModel(terrain, **(channel_kwargs or {}))
         rng = np.random.default_rng(seed)
         positions = cls._draw_ue_positions(terrain, n_ues, layout, rng)
         enodeb = ENodeB()

@@ -60,15 +60,20 @@ class TrajectoryHistory:
     Keyed by quantized UE position (like REMs, Section 3.5), so a UE
     returning to a known spot inherits the exploration history of that
     spot and the planner does not re-probe it from scratch.
+
+    ``quantum_m`` is the key quantization pitch; stored keys are in
+    key-index units and must be scaled back to meters before any
+    comparison against a raw position.
     """
 
     i_max: float = DEFAULT_I_MAX
     reuse_radius_m: float = 10.0
+    quantum_m: float = 1.0
     _store: Dict[tuple, List[Trajectory]] = field(default_factory=dict)
 
     def record(self, ue_xyz: np.ndarray, trajectory: Trajectory) -> None:
         """Log a flown trajectory against a UE position."""
-        key = _pos_key(ue_xyz)
+        key = _pos_key(ue_xyz, self.quantum_m)
         self._store.setdefault(key, []).append(trajectory)
 
     def trajectories_for(self, ue_xyz: np.ndarray) -> List[Trajectory]:
@@ -76,7 +81,10 @@ class TrajectoryHistory:
         p = np.asarray(ue_xyz, dtype=float)
         out: List[Trajectory] = []
         for (kx, ky), trajs in self._store.items():
-            if np.hypot(p[0] - kx, p[1] - ky) <= self.reuse_radius_m:
+            dist_m = np.hypot(
+                p[0] - kx * self.quantum_m, p[1] - ky * self.quantum_m
+            )
+            if dist_m <= self.reuse_radius_m:
                 out.extend(trajs)
         return out
 

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import REGISTRY
+from repro.experiments.artifacts import roundtrip
 from repro.experiments import (
     fig01_motivation,
     fig03_centroid_vs_optimal,
@@ -72,6 +73,69 @@ class TestLightExperiments:
         assert row["epoch_at_10pct_min"] >= 0.0
         times, rel = result["curves"][0.5]
         assert rel[0] == pytest.approx(1.0)
+
+
+@pytest.mark.experiments
+class TestArtifactCache:
+    """End-to-end runner contract: caching and parallelism change
+    nothing about the results, byte for byte."""
+
+    def test_warm_rerun_is_bit_identical_and_skips_compute(self, tmp_path):
+        from repro.experiments.artifacts import ArtifactStore
+        from repro.experiments.registry import run_experiment
+
+        store = ArtifactStore(tmp_path)
+        cold = run_experiment("fig7", quick=True, store=store)
+        assert cold.computed == len(cold.params) and cold.cached == 0
+        assert cold.perf_delta["counters"]["experiments.point.computed"] == len(
+            cold.params
+        )
+        cold_bytes = cold.artifact_path.read_bytes()
+
+        warm = run_experiment("fig7", quick=True, store=store)
+        # Every point comes from disk: no point computation at all,
+        # verified through the perf counters the runner itself keeps.
+        assert warm.computed == 0 and warm.cached == len(warm.params)
+        counters = warm.perf_delta["counters"]
+        assert counters["experiments.point.cache_hit"] == len(warm.params)
+        assert "experiments.point.computed" not in counters
+        assert warm.records == cold.records
+        assert roundtrip(warm.result) == roundtrip(cold.result)
+        assert warm.artifact_path.read_bytes() == cold_bytes
+
+    def test_force_recomputes_cached_points(self, tmp_path):
+        from repro.experiments.artifacts import ArtifactStore
+        from repro.experiments.registry import run_experiment
+
+        store = ArtifactStore(tmp_path)
+        run_experiment("fig7", quick=True, store=store)
+        forced = run_experiment("fig7", quick=True, store=store, force=True)
+        assert forced.computed == len(forced.params) and forced.cached == 0
+
+    def test_parallel_matches_serial(self, tmp_path):
+        from repro.experiments.artifacts import ArtifactStore
+        from repro.experiments.registry import run_experiment
+
+        serial = run_experiment(
+            "fig3",
+            quick=True,
+            overrides={"seeds": (0, 1)},
+            workers=1,
+            store=ArtifactStore(tmp_path / "serial"),
+        )
+        parallel = run_experiment(
+            "fig3",
+            quick=True,
+            overrides={"seeds": (0, 1)},
+            workers=2,
+            store=ArtifactStore(tmp_path / "parallel"),
+        )
+        assert parallel.workers == 2 and serial.workers == 1
+        assert parallel.records == serial.records
+        assert roundtrip(parallel.result) == roundtrip(serial.result)
+        assert (
+            parallel.artifact_path.read_bytes() == serial.artifact_path.read_bytes()
+        )
 
 
 class TestCLI:

@@ -4,8 +4,11 @@ import itertools
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.geo.tsp import solve_tsp, tour_length
+from repro.geo.points import pairwise_distances
+from repro.geo.tsp import _two_opt, solve_tsp, tour_length
 
 
 def _brute_force_open(points):
@@ -67,6 +70,83 @@ class TestSolve:
 
     def test_two_opt_improves_or_matches_greedy(self, rng):
         pts = rng.uniform(0, 100, (15, 2))
+        greedy = solve_tsp(pts, start=0, two_opt=False)
+        refined = solve_tsp(pts, start=0, two_opt=True)
+        assert tour_length(pts, refined) <= tour_length(pts, greedy) + 1e-9
+
+
+class TestTwoOptFixes:
+    """Regression tests for two bugs the 2-opt pass used to have.
+
+    1. After an in-pass segment reversal the anchor edge ``(a, b)``
+       changed, but later deltas in the same pass were still scored
+       against the removed edge — accepting "improvements" that could
+       lengthen the tour.
+    2. Open tours never tried reversing the tail segment, a move that
+       only swaps one edge and that the closed-tour neighbourhood
+       cannot express.
+    """
+
+    # Differential search against the pre-fix implementation found
+    # this 7-node instance: dropping either fix lands 3-5% above the
+    # optimum, the fixed pass reaches it exactly.
+    REGRESSION_PTS = np.array(
+        [
+            [27.0, 4.1],
+            [1.7, 81.3],
+            [91.3, 60.7],
+            [72.9, 54.4],
+            [93.5, 81.6],
+            [0.3, 85.7],
+            [3.4, 73.0],
+        ]
+    )
+
+    def test_regression_instance_reaches_start0_optimum(self):
+        pts = self.REGRESSION_PTS
+        dist = pairwise_distances(pts, pts)
+        order = _two_opt(list(range(len(pts))), dist)
+        best = min(
+            tour_length(pts, (0,) + perm)
+            for perm in itertools.permutations(range(1, len(pts)))
+        )
+        assert tour_length(pts, order) == pytest.approx(best)
+
+    def test_tail_reversal_on_open_tour(self):
+        # n=3 leaves no interior (j) moves at all, so only the tail
+        # flip can repair A->B->C into the shorter A->C->B.
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [1.0, 0.0]])
+        dist = pairwise_distances(pts, pts)
+        assert _two_opt([0, 1, 2], dist) == [0, 2, 1]
+
+    @given(st.integers(3, 8), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_two_opt_never_lengthens_any_input(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, (n, 2))
+        order0 = rng.permutation(n).tolist()
+        dist = pairwise_distances(pts, pts)
+        order = _two_opt(list(order0), dist)
+        assert sorted(order) == list(range(n))
+        assert tour_length(pts, order) <= tour_length(pts, order0) + 1e-9
+
+    @given(st.integers(3, 7), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_near_optimal_vs_brute_force_small(self, n, seed):
+        pts = np.random.default_rng(seed).uniform(0, 100, (n, 2))
+        order = solve_tsp(pts)
+        best = min(
+            tour_length(pts, perm) for perm in itertools.permutations(range(n))
+        )
+        # Greedy + 2-opt over all starts is near-optimal on tiny
+        # instances but not exact (local optima); observed worst case
+        # over 3k instances is ~1.09x.
+        assert tour_length(pts, order) <= best * 1.15 + 1e-9
+
+    @given(st.integers(3, 10), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_two_opt_never_lengthens_vs_greedy(self, n, seed):
+        pts = np.random.default_rng(seed).uniform(0, 100, (n, 2))
         greedy = solve_tsp(pts, start=0, two_opt=False)
         refined = solve_tsp(pts, start=0, two_opt=True)
         assert tour_length(pts, refined) <= tour_length(pts, greedy) + 1e-9

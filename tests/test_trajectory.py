@@ -144,6 +144,30 @@ class TestInformation:
         # A UE far away sees none.
         assert len(h.trajectories_for(np.array([200.0, 200.0, 1.5]))) == 0
 
+    def test_history_nonunit_quantum(self):
+        # Regression: stored keys are in key-index units; the reuse
+        # lookup used to compare them against raw meter coordinates,
+        # which only coincided for quantum_m=1.
+        h = TrajectoryHistory(reuse_radius_m=10.0, quantum_m=5.0)
+        t = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        h.record(np.array([100.0, 100.0, 1.5]), t)
+        # 7 m away: within R, must see the history despite the coarse key.
+        assert len(h.trajectories_for(np.array([107.0, 100.0, 1.5]))) == 1
+        # 20 m away: outside R (pre-fix code, comparing meters against
+        # key indices ~ (20, 20), matched nothing near (100, 100) and
+        # everything near the origin).
+        assert len(h.trajectories_for(np.array([120.0, 100.0, 1.5]))) == 0
+        assert len(h.trajectories_for(np.array([20.0, 20.0, 1.5]))) == 0
+
+    def test_history_quantum_buckets_nearby_records(self):
+        h = TrajectoryHistory(quantum_m=5.0)
+        t = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
+        # Both positions quantize to the same 5 m key.
+        h.record(np.array([99.0, 100.0, 1.5]), t)
+        h.record(np.array([101.0, 100.0, 1.5]), t)
+        assert len(h._store) == 1
+        assert len(h) == 2
+
     def test_mean_gain_over_ues(self):
         h = TrajectoryHistory()
         cand = Trajectory(np.array([[0, 0], [10, 0]]), 50.0)
