@@ -3,6 +3,12 @@
 Ranging errors for UEs in open / building-adjacent / forested spots
 over 20 m localization flights.  Paper: median 4-5 m with K = 4
 upsampling at 10 MHz, roughly independent of the UE's environment.
+
+Each flight's SRS receptions run through the batched channel/Eq. 1-3
+kernels (via :func:`repro.flight.sampler.collect_gps_ranges`), which
+are bit-identical to the retained per-symbol reference under the
+documented RNG draw schedule — so cached artifacts regenerate
+unchanged.
 """
 
 from __future__ import annotations

@@ -11,8 +11,20 @@ estimator — plus the MAC-level pieces an LTE RAN needs: an SNR -> CQI
 scheduler, and a minimal EPC (attach/bearer state machines).
 """
 
-from repro.lte.srs import SRSConfig, apply_channel, make_srs_symbol, zadoff_chu
-from repro.lte.tof import ToFEstimator, estimate_delay_samples, upsample_freq
+from repro.lte.srs import (
+    SRSConfig,
+    apply_channel,
+    apply_channel_batch,
+    make_srs_symbol,
+    pack_taps,
+    zadoff_chu,
+)
+from repro.lte.tof import (
+    ToFEstimator,
+    estimate_delay_samples,
+    estimate_delays_batch,
+    upsample_freq,
+)
 from repro.lte.throughput import (
     CQI_TABLE,
     cqi_from_snr,
@@ -27,10 +39,13 @@ from repro.lte.epc import EPC, BearerState, SessionRecord
 __all__ = [
     "SRSConfig",
     "apply_channel",
+    "apply_channel_batch",
     "make_srs_symbol",
+    "pack_taps",
     "zadoff_chu",
     "ToFEstimator",
     "estimate_delay_samples",
+    "estimate_delays_batch",
     "upsample_freq",
     "CQI_TABLE",
     "cqi_from_snr",

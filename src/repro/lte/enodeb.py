@@ -17,7 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.lte.epc import EPC
-from repro.lte.srs import SRSConfig, apply_channel, make_srs_symbol
+from repro.lte.srs import SRSConfig, apply_channel, apply_channel_batch, make_srs_symbol
 from repro.lte.throughput import PRB_PER_10MHZ, throughput_mbps
 from repro.lte.ue import UE, UEState
 
@@ -129,6 +129,36 @@ class ENodeB:
         tx = make_srs_symbol(self.srs_config, root=ue.srs_root)
         return apply_channel(
             tx, self.srs_config, true_delay_samples, snr_db, rng, multipath
+        )
+
+    def receive_srs_batch(
+        self,
+        ue: UE,
+        delays_samples: np.ndarray,
+        snrs_db: np.ndarray,
+        rng: np.random.Generator,
+        tap_excess: Optional[np.ndarray] = None,
+        tap_power_db: Optional[np.ndarray] = None,
+        tap_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Receive a flight's worth of SRS symbols from one UE at once.
+
+        Batched counterpart of :meth:`receive_srs`: one (cached) symbol
+        synthesis and one :func:`repro.lte.srs.apply_channel_batch`
+        call covering every kept reception, with per-symbol tap sets as
+        masked arrays.  Bit-identical to per-symbol receives under the
+        batch kernel's documented RNG draw schedule.
+        """
+        tx = make_srs_symbol(self.srs_config, root=ue.srs_root)
+        return apply_channel_batch(
+            tx,
+            self.srs_config,
+            delays_samples,
+            snrs_db,
+            rng,
+            tap_excess,
+            tap_power_db,
+            tap_mask,
         )
 
     def known_srs_symbol(self, ue: UE) -> np.ndarray:

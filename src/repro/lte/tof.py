@@ -17,6 +17,7 @@ The estimator is a faithful implementation of Section 3.2.2:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,33 +29,84 @@ def upsample_freq(x: np.ndarray, factor: int) -> np.ndarray:
 
     With the standard FFT layout (positive frequencies first, negative
     at the top), inserting ``N (K - 1)`` zeros between the two halves
-    interpolates the time-domain signal by ``K``.
+    interpolates the time-domain signal by ``K``.  Accepts a batch of
+    rows (``(n, m)``) and pads every row along the last axis.
     """
     if factor < 1:
         raise ValueError(f"factor must be >= 1, got {factor}")
     x = np.asarray(x)
     if factor == 1:
         return x.copy()
-    n = len(x)
+    n = x.shape[-1]
     half = n // 2
-    zeros = np.zeros(n * (factor - 1), dtype=x.dtype)
-    return np.concatenate([x[:half], zeros, x[half:]])
+    pad = n * (factor - 1)
+    out = np.empty(x.shape[:-1] + (n * factor,), dtype=x.dtype)
+    out[..., :half] = x[..., :half]
+    out[..., half : half + pad] = 0
+    out[..., half + pad :] = x[..., half:]
+    return out
 
 
-def correlation_quality(mag: np.ndarray, peak: int) -> float:
+def _background_guard(total: int, guard: Optional[int]) -> int:
+    """Half-width of the excluded window around the correlation peak."""
+    if guard is None:
+        # Wide enough to cover the upsampled main lobe (width
+        # ~ K * n_fft / n_active bins) at every practical numerology,
+        # narrow enough to keep the background median representative.
+        guard = max(1, total // 128)
+    if guard < 0:
+        raise ValueError(f"guard must be >= 0, got {guard}")
+    return int(guard)
+
+
+def correlation_quality(
+    mag: np.ndarray, peak: int, guard: Optional[int] = None
+) -> float:
     """Peak-to-background ratio of a correlation magnitude profile.
 
     The ratio of the peak magnitude to the median magnitude away from
-    the peak.  A clean SRS reception correlates to a sharp spike (high
-    ratio); a burst buried in noise or shredded by interference yields
-    a flat profile (ratio near 1).  Degraded-mode localization uses
-    this to discard receptions whose "delay" is really an argmax over
-    noise.
+    the peak: a circular guard window of ``guard`` bins on each side of
+    the (upsampled) peak is excluded from the median, so the peak's own
+    main lobe cannot inflate the background estimate (``guard``
+    defaults to ``len(mag) // 128``, at least 1).  A clean SRS
+    reception correlates to a sharp spike (high ratio); a burst buried
+    in noise or shredded by interference yields a flat profile (ratio
+    near 1).  Degraded-mode localization uses this to discard
+    receptions whose "delay" is really an argmax over noise.
     """
-    background = float(np.median(mag))
+    mag = np.asarray(mag)
+    total = len(mag)
+    guard = _background_guard(total, guard)
+    if 2 * guard + 1 >= total:
+        return float("inf")
+    kept = mag[(peak + np.arange(guard + 1, total - guard)) % total]
+    background = float(np.median(kept))
     if background <= 1e-30:
         return float("inf")
     return float(mag[peak] / background)
+
+
+def correlation_quality_batch(
+    mag: np.ndarray, peaks: np.ndarray, guard: Optional[int] = None
+) -> np.ndarray:
+    """Row-wise :func:`correlation_quality` of ``(n, total)`` profiles."""
+    mag = np.asarray(mag)
+    peaks = np.asarray(peaks, dtype=int)
+    n, total = mag.shape
+    guard = _background_guard(total, guard)
+    if 2 * guard + 1 >= total or n == 0:
+        return np.full(n, np.inf)
+    # Gather each row's background span — the same circular
+    # [peak + guard + 1, peak + total - guard) window the scalar path
+    # takes its median over, so the two agree bit-for-bit.
+    idx = (peaks[:, None] + np.arange(guard + 1, total - guard)[None, :]) % total
+    background = np.median(mag[np.arange(n)[:, None], idx], axis=-1)
+    peak_mag = mag[np.arange(n), peaks]
+    out = np.empty(n, dtype=float)
+    tiny = background <= 1e-30
+    out[tiny] = np.inf
+    out[~tiny] = peak_mag[~tiny] / background[~tiny]
+    return out
 
 
 def estimate_delay_samples(
@@ -120,6 +172,71 @@ def estimate_delay_and_quality(
     return pos / upsampling, correlation_quality(mag, peak)
 
 
+def estimate_delays_batch(
+    received_2d: np.ndarray,
+    known: np.ndarray,
+    upsampling: int = 4,
+    refine: bool = True,
+    quality: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Eq. 1-3 delays (and qualities) for a whole batch of receptions.
+
+    Vectorized equivalent of calling
+    :func:`estimate_delay_and_quality` on every row of ``received_2d``
+    (``(n, n_fft)``) against the same ``known`` symbol: one row-wise
+    frequency-domain product (Eq. 1), one middle zero-pad (Eq. 2), one
+    batched IFFT, then vectorized argmax + three-point parabolic
+    refinement (Eq. 3) and peak-to-background quality.  Bit-identical
+    to the per-symbol loop.
+
+    Returns ``(delays_samples, qualities)``; ``qualities`` is None when
+    ``quality=False`` (skipping the background medians, the most
+    expensive part, for callers that do not gate on quality).
+    """
+    received = np.asarray(received_2d, dtype=complex)
+    known = np.asarray(known, dtype=complex)
+    if received.ndim != 2 or known.ndim != 1 or received.shape[1] != known.shape[0]:
+        raise ValueError(
+            f"received must be (n, {known.shape[0] if known.ndim == 1 else '?'}), "
+            f"got {received.shape} against known {known.shape}"
+        )
+    n = received.shape[0]
+    if n == 0:
+        empty = np.zeros(0)
+        return empty, (empty.copy() if quality else None)
+    if upsampling < 1:
+        raise ValueError(f"factor must be >= 1, got {upsampling}")
+    # Eqs. 1-2 fused: the row-wise frequency-domain product is written
+    # straight into the two halves of the middle-zero-padded buffer,
+    # skipping the intermediate product array (same elementwise
+    # multiplies, so still bit-identical to the per-symbol path).
+    known_conj = np.conj(known)
+    m = known.shape[0]
+    half = m // 2
+    pad = m * (upsampling - 1)
+    padded = np.empty((n, m * upsampling), dtype=complex)
+    np.multiply(received[:, :half], known_conj[None, :half], out=padded[:, :half])
+    padded[:, half : half + pad] = 0
+    np.multiply(received[:, half:], known_conj[None, half:], out=padded[:, half + pad :])
+    mag = np.abs(np.fft.ifft(padded, axis=-1))
+    total = mag.shape[1]
+    rows = np.arange(n)
+    peaks = np.argmax(mag, axis=-1)  # Eq. 3
+    delta = np.zeros(n)
+    if refine:
+        # Parabolic vertex through (peak-1, peak, peak+1), circular.
+        y0 = mag[rows, (peaks - 1) % total]
+        y1 = mag[rows, peaks]
+        y2 = mag[rows, (peaks + 1) % total]
+        denom = y0 - 2.0 * y1 + y2
+        ok = np.abs(denom) > 1e-12
+        delta[ok] = np.clip(0.5 * (y0[ok] - y2[ok]) / denom[ok], -0.5, 0.5)
+    pos = peaks + delta
+    pos = np.where(pos > total / 2, pos - total, pos)
+    qualities = correlation_quality_batch(mag, peaks) if quality else None
+    return pos / upsampling, qualities
+
+
 @dataclass(frozen=True)
 class ToFEstimator:
     """SRS-based ranging front end.
@@ -170,3 +287,18 @@ class ToFEstimator:
         """
         delay, quality = estimate_delay_and_quality(received, known, self.upsampling)
         return delay * self.config.meters_per_sample, quality
+
+    def ranges_batch_m(
+        self, received_2d: np.ndarray, known: np.ndarray, quality: bool = True
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """``(ranges_m, qualities)`` for a whole batch of receptions.
+
+        The batched counterpart of :meth:`range_and_quality_m` (one
+        vectorized Eq. 1-3 pass over ``(n, n_fft)`` rows); pass
+        ``quality=False`` to skip the background medians when no
+        quality gate will consume them.
+        """
+        delays, qualities = estimate_delays_batch(
+            received_2d, known, self.upsampling, quality=quality
+        )
+        return delays * self.config.meters_per_sample, qualities
