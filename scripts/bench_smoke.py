@@ -297,6 +297,73 @@ def bench_localization(n_ues: int, repeats: int) -> dict:
     }
 
 
+def bench_mac(n_ues: int, repeats: int) -> dict:
+    """Vectorized TTI-batch kernel vs the per-TTI Python reference.
+
+    Three workloads over 2000 TTIs: the full-buffer round-robin case
+    (the whole-batch *slab* fast path — the honest speedup gate, since
+    the per-PRB greedy schedulers cannot vectorize across TTIs), plus
+    loaded Poisson round-robin and proportional-fair cases reported
+    for visibility.  Each case first asserts the kernel is bit-
+    identical to the reference before any timing.
+    """
+    from repro.traffic import (  # noqa: E402
+        QueueBank,
+        make_scheduler,
+        make_traffic_model,
+        run_tti_batch,
+    )
+    from repro.traffic.simulate import rate_per_prb_bytes  # noqa: E402
+
+    n_tti = 2000
+    ue_ids = tuple(range(1, n_ues + 1))
+    rates = rate_per_prb_bytes(np.linspace(0.0, 25.0, n_ues))
+    poisson = make_traffic_model("poisson", rate_mbps=6.0)
+    offered = np.stack(
+        [poisson.source(u, seed=7).offered_bytes(n_tti) for u in ue_ids]
+    )
+    zeros = np.zeros_like(offered)
+
+    def run_case(sched_name, offered_arr, full_buffer, reference):
+        # Fresh queue bank and scheduler per call: both carry state
+        # (backlogs, PF averages) that must not leak between timings.
+        queues = QueueBank(ue_ids, full_buffer=full_buffer)
+        return run_tti_batch(
+            bytes_per_prb=rates,
+            offered_bytes=offered_arr,
+            scheduler=make_scheduler(sched_name),
+            queues=queues,
+            reference=reference,
+        )
+
+    cases = {}
+    for case, sched, off, full_buffer in (
+        ("full_buffer_round_robin", "round_robin", zeros, True),
+        ("poisson_round_robin", "round_robin", offered, False),
+        ("poisson_proportional_fair", "proportional_fair", offered, False),
+    ):
+        res_k = run_case(sched, off, full_buffer, False)
+        res_r = run_case(sched, off, full_buffer, True)
+        identical = all(
+            np.array_equal(getattr(res_k, f), getattr(res_r, f))
+            for f in ("grants", "served_bytes", "dropped_bytes", "backlog_end_bytes")
+        )
+        t_ref = _time_min(lambda: run_case(sched, off, full_buffer, True), repeats)
+        perf.reset()
+        t_kernel = _time_min(lambda: run_case(sched, off, full_buffer, False), repeats)
+        counters = perf.counters()
+        cases[case] = {
+            "scheduler": sched,
+            "bit_identical": bool(identical),
+            "reference_s": t_ref,
+            "kernel_s": t_kernel,
+            "speedup": t_ref / t_kernel if t_kernel > 0 else float("inf"),
+            "served_mbps": float(res_k.aggregate_served_mbps()),
+            "perf_counters": counters,
+        }
+    return {"n_ues": n_ues, "n_tti": n_tti, "cases": cases}
+
+
 def bench_headline() -> dict:
     """The headline figure in quick mode, timed with perf counters.
 
@@ -352,6 +419,20 @@ def main(argv=None) -> int:
         "least this many times faster end-to-end (generous CI floor; "
         "0 = report only)",
     )
+    parser.add_argument(
+        "--mac",
+        action="store_true",
+        help="also run the MAC scheduler bench and gate on --min-mac-speedup",
+    )
+    parser.add_argument(
+        "--min-mac-speedup",
+        type=float,
+        default=3.0,
+        help="with --mac, fail if the full-buffer slab kernel is not at "
+        "least this many times faster than the per-TTI reference (the "
+        "only case where whole-batch vectorization applies; generous "
+        "CI floor; 0 = report only)",
+    )
     args = parser.parse_args(argv)
 
     payload = {"bench": "headline_smoke"}
@@ -379,6 +460,18 @@ def main(argv=None) -> int:
             f"e2e {loc['e2e_speedup']:.2f}x, "
             f"max position delta {loc['max_position_delta_m']:.2e} m"
         )
+
+    sched = None
+    if args.mac:
+        sched = bench_mac(args.ues, args.repeats)
+        payload["sched"] = sched
+        for case, row in sched["cases"].items():
+            print(
+                f"[mac] {case}: reference {row['reference_s'] * 1e3:.1f} ms -> "
+                f"kernel {row['kernel_s'] * 1e3:.1f} ms ({row['speedup']:.2f}x, "
+                f"identical={row['bit_identical']}, "
+                f"{row['served_mbps']:.1f} Mbps served)"
+            )
 
     if not args.skip_headline:
         headline = bench_headline()
@@ -421,6 +514,23 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: localization e2e speedup {loc['e2e_speedup']:.2f}x "
                 f"< required {args.min_loc_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if sched is not None:
+        mismatched = [c for c, r in sched["cases"].items() if not r["bit_identical"]]
+        if mismatched:
+            print(
+                "FAIL: MAC kernel differs from the per-TTI reference: "
+                + ", ".join(mismatched),
+                file=sys.stderr,
+            )
+            return 1
+        slab = sched["cases"]["full_buffer_round_robin"]["speedup"]
+        if args.min_mac_speedup > 0 and slab < args.min_mac_speedup:
+            print(
+                f"FAIL: full-buffer slab speedup {slab:.2f}x "
+                f"< required {args.min_mac_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.rem.interpolate import available_interpolators
+from repro.traffic.generators import available_traffic_models
+from repro.traffic.schedulers import available_schedulers
 
 
 @dataclass(kw_only=True)
@@ -99,6 +101,30 @@ class SkyRANConfig:
         Correlation peak-to-background ratio below which an SRS
         reception is discarded during chaos runs (0 disables the gate;
         it is never applied in fault-free runs).
+    traffic_model:
+        Registered per-UE workload (``"full_buffer"`` — the legacy
+        idealization — ``"cbr"``, ``"poisson"``, ``"onoff_video"``);
+        validated against
+        :func:`repro.traffic.generators.available_traffic_models`.
+    scheduler:
+        Registered TTI scheduler (``"round_robin"``,
+        ``"proportional_fair"``, ``"max_min"``); validated against
+        :func:`repro.traffic.schedulers.available_schedulers`.
+    traffic_rate_mbps:
+        Mean offered rate per UE for the rate-driven workloads.
+    traffic_buffer_bytes:
+        Per-UE RLC buffer bound with tail drop; 0 = unbounded.
+    epoch_trigger_metric:
+        What the epoch trigger watches while serving: ``"capacity"``
+        (the legacy full-cell mean throughput, load-independent) or
+        ``"served"`` (aggregate *served* rate from the MAC simulation,
+        which diverges from capacity exactly when the offered load
+        does not saturate the cell — the paper's Section 3.5 signal
+        computed on real traffic).
+    tti_batch:
+        TTIs simulated per serving-time MAC batch (1000 = 1 s).
+    pf_time_constant_tti:
+        EWMA horizon of the proportional-fair average (TTIs).
     """
 
     localization_flight_m: float = 30.0
@@ -126,6 +152,13 @@ class SkyRANConfig:
     localization_residual_limit_m: float = 60.0
     min_inlier_fraction: float = 0.35
     tof_quality_floor: float = 2.0
+    traffic_model: str = "full_buffer"
+    scheduler: str = "round_robin"
+    traffic_rate_mbps: float = 2.0
+    traffic_buffer_bytes: float = 0.0
+    epoch_trigger_metric: str = "capacity"
+    tti_batch: int = 1000
+    pf_time_constant_tti: int = 100
 
     def __post_init__(self) -> None:
         if self.localization_flight_m <= 0:
@@ -163,3 +196,24 @@ class SkyRANConfig:
             raise ValueError("min_inlier_fraction must be in [0, 1]")
         if self.tof_quality_floor < 0:
             raise ValueError("tof_quality_floor must be >= 0")
+        if self.traffic_model not in available_traffic_models():
+            known = ", ".join(available_traffic_models())
+            raise ValueError(
+                f"unknown traffic model {self.traffic_model!r} (known: {known})"
+            )
+        if self.scheduler not in available_schedulers():
+            known = ", ".join(available_schedulers())
+            raise ValueError(f"unknown scheduler {self.scheduler!r} (known: {known})")
+        if self.traffic_rate_mbps <= 0:
+            raise ValueError("traffic_rate_mbps must be positive")
+        if self.traffic_buffer_bytes < 0:
+            raise ValueError("traffic_buffer_bytes must be >= 0")
+        if self.epoch_trigger_metric not in ("capacity", "served"):
+            raise ValueError(
+                "epoch_trigger_metric must be 'capacity' or 'served', "
+                f"got {self.epoch_trigger_metric!r}"
+            )
+        if self.tti_batch < 1:
+            raise ValueError("tti_batch must be >= 1")
+        if self.pf_time_constant_tti < 1:
+            raise ValueError("pf_time_constant_tti must be >= 1")

@@ -36,6 +36,7 @@ from repro.lte.tof import ToFEstimator
 from repro.lte.ue import UE
 from repro.perf import perf
 from repro.rem.interpolate import make_interpolator
+from repro.traffic.simulate import MACBatchResult, MACSimulation
 from repro.trajectory.information import TrajectoryHistory
 from repro.trajectory.random_flight import random_flight
 from repro.trajectory.skyran import PlanResult, SkyRANPlanner
@@ -136,7 +137,9 @@ class SkyRANController:
         self.history = TrajectoryHistory(reuse_radius_m=self.config.reuse_radius_m)
         self.rem_store = REMStore(self.rem_grid, self.config.reuse_radius_m)
         self.trigger = EpochTrigger(
-            self.config.epoch_margin, debounce=self.config.epoch_debounce
+            self.config.epoch_margin,
+            debounce=self.config.epoch_debounce,
+            metric=self.config.epoch_trigger_metric,
         )
         self.interpolator = make_interpolator(
             self.config.interpolator,
@@ -147,6 +150,8 @@ class SkyRANController:
         self.epoch_index = 0
         self._last_estimates: Dict[int, np.ndarray] = {}
         self.offset_calibrator = OffsetCalibrator()
+        self._mac: Optional[MACSimulation] = None
+        self.last_mac_summary: Optional[Dict[str, float]] = None
 
     @property
     def _chaos(self) -> bool:
@@ -157,6 +162,21 @@ class SkyRANController:
         fault subsystem.
         """
         return self.faults is not None and self.faults.active
+
+    @property
+    def _traffic_enabled(self) -> bool:
+        """True when the config departs from the legacy MAC idealization.
+
+        With the defaults (``full_buffer`` + ``round_robin`` +
+        capacity trigger) no traffic state is ever constructed and no
+        traffic RNG is drawn, so default runs stay byte-identical to
+        builds without the traffic subsystem.
+        """
+        return (
+            self.config.traffic_model != "full_buffer"
+            or self.config.scheduler != "round_robin"
+            or self.config.epoch_trigger_metric == "served"
+        )
 
     # -- building blocks -----------------------------------------------------------
 
@@ -478,8 +498,31 @@ class SkyRANController:
         move_log = self.uav.goto(placement.position.as_array(), self.rng, faults=self.faults)
         total_distance += move_log.distance_m
 
-        # Arm the epoch trigger with the achieved aggregate throughput.
-        self.trigger.reset(self.aggregate_throughput_mbps())
+        # Arm the epoch trigger with the achieved aggregate KPI.  Under
+        # a traffic-aware config a fresh MAC simulation is built for
+        # this epoch's UE set (queue backlogs and generator streams do
+        # not survive a re-plan; per-UE streams restart deterministically
+        # from (seed, ue_id)).
+        self.last_mac_summary = None
+        if self._traffic_enabled:
+            self._mac = MACSimulation(
+                [u.ue_id for u in self.enodeb.connected_ues()],
+                traffic_model=self.config.traffic_model,
+                scheduler=self.config.scheduler,
+                seed=self.seed,
+                n_prb=self.enodeb.n_prb,
+                buffer_bytes=self.config.traffic_buffer_bytes,
+                traffic_params={"rate_mbps": self.config.traffic_rate_mbps},
+                scheduler_params={
+                    "time_constant_tti": self.config.pf_time_constant_tti
+                },
+            )
+            batch = self._serve_tti_batch()
+            self.last_mac_summary = self._summarize_batch(batch)
+        if self.trigger.metric == "served":
+            self.trigger.reset(self.last_mac_summary["served_mbps"])
+        else:
+            self.trigger.reset(self.aggregate_throughput_mbps())
 
         result = EpochResult(
             epoch_index=self.epoch_index,
@@ -508,6 +551,49 @@ class SkyRANController:
         snrs = [float(self.channel.snr_db(self.uav.position, ue.xyz)) for ue in ues]
         return float(np.mean([throughput_mbps(s) for s in snrs]))
 
+    def _serve_tti_batch(self) -> MACBatchResult:
+        """Advance the epoch's MAC simulation by one TTI batch.
+
+        SNRs are sampled at the current position per batch, so UE
+        mobility between checks shows up in the served rate.  Offered
+        traffic passes through the fault injector's traffic-burst
+        channel (inert when the plan's burst rate is zero).
+        """
+        snrs = {
+            ue.ue_id: float(self.channel.snr_db(self.uav.position, ue.xyz))
+            for ue in self.enodeb.connected_ues()
+            if ue.ue_id in self._mac.ue_ids
+        }
+        return self._mac.run(snrs, self.config.tti_batch, faults=self.faults)
+
+    @staticmethod
+    def _summarize_batch(batch: MACBatchResult) -> Dict[str, float]:
+        backlog = batch.total_backlog_bytes()
+        return {
+            "offered_mbps": batch.aggregate_offered_mbps(),
+            "served_mbps": batch.aggregate_served_mbps(),
+            "backlog_bytes": backlog if np.isfinite(backlog) else float("inf"),
+            "dropped_bytes": batch.total_dropped_bytes(),
+            "fairness": batch.fairness(),
+        }
+
+    def served_throughput_mbps(self) -> float:
+        """Aggregate served rate over one fresh TTI batch.
+
+        Requires a traffic-aware config (an epoch must have armed the
+        MAC simulation); this is the live KPI of the ``"served"``
+        trigger metric.
+        """
+        if self._mac is None:
+            raise RuntimeError(
+                "no MAC simulation armed (run an epoch with a traffic-aware config)"
+            )
+        batch = self._serve_tti_batch()
+        self.last_mac_summary = self._summarize_batch(batch)
+        return self.last_mac_summary["served_mbps"]
+
     def needs_new_epoch(self, t_s: float = 0.0) -> bool:
-        """Check the trigger against the current aggregate throughput."""
+        """Check the trigger against the current aggregate KPI."""
+        if self.trigger.metric == "served":
+            return self.trigger.update(self.served_throughput_mbps(), t_s)
         return self.trigger.update(self.aggregate_throughput_mbps(), t_s)

@@ -34,12 +34,21 @@ class EpochTrigger:
     history:
         (time, value) samples seen since the last reset, for benches
         that plot the decay.
+    metric:
+        What the samples *are*: ``"capacity"`` (full-cell mean
+        throughput at the current position — the legacy KPI, blind to
+        load) or ``"served"`` (aggregate served rate from the traffic
+        MAC simulation, which only drops when users actually lose
+        throughput).  The trigger arithmetic is identical; the field
+        exists so records and logs can say which signal armed it and
+        so the controller knows which KPI to feed in.
     """
 
     margin: float = 0.1
     debounce: int = 1
     reference: Optional[float] = None
     history: List[tuple] = field(default_factory=list)
+    metric: str = "capacity"
     _breach_streak: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -47,6 +56,10 @@ class EpochTrigger:
             raise ValueError(f"margin must be in (0, 1), got {self.margin}")
         if self.debounce < 1:
             raise ValueError(f"debounce must be >= 1, got {self.debounce}")
+        if self.metric not in ("capacity", "served"):
+            raise ValueError(
+                f"metric must be 'capacity' or 'served', got {self.metric!r}"
+            )
 
     def reset(self, reference: float) -> None:
         """Start a new epoch with a fresh performance reference."""

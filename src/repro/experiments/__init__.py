@@ -37,6 +37,7 @@ from repro.experiments import (  # noqa: F401  (import side effect: registration
     fig30_rem_budget_terrains,
     fig31_num_ues,
     headline,
+    traffic_load,
 )
 from repro.experiments.registry import _EXPERIMENTS
 

@@ -54,6 +54,8 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    import inspect
+
     from repro.experiments.common import print_rows
 
     names = _resolve_names(args.experiments)
@@ -62,9 +64,23 @@ def _cmd_run(args) -> int:
     store = None if args.no_cache else ArtifactStore(args.cache_dir)
     quick = not args.full
     for name in names:
+        overrides = {}
+        if args.scheduler is not None:
+            # Only experiments whose grid sweeps schedulers (the
+            # traffic figures) understand the knob; pin their sweep to
+            # the one requested discipline and leave the rest alone.
+            grid_params = inspect.signature(get_experiment(name).grid).parameters
+            if "schedulers" in grid_params:
+                overrides["schedulers"] = [args.scheduler]
+            else:
+                print(
+                    f"   [{name}] ignores --scheduler (no scheduler sweep)",
+                    file=sys.stderr,
+                )
         run = run_experiment(
             name,
             quick=quick,
+            overrides=overrides,
             workers=args.workers,
             store=store,
             force=args.force,
@@ -143,6 +159,14 @@ def main(argv=None) -> int:
     )
     run_p.add_argument(
         "--force", action="store_true", help="recompute points even when cached"
+    )
+    run_p.add_argument(
+        "--scheduler",
+        default=None,
+        help=(
+            "pin scheduler-sweep experiments (e.g. traffic-load) to one TTI "
+            "scheduler: round_robin, proportional_fair or max_min"
+        ),
     )
 
     sum_p = sub.add_parser("summary", help="print stored result tables")

@@ -26,7 +26,7 @@ from repro.perf import perf
 
 #: Spawn order of the per-channel RNG streams (stable across versions:
 #: appending a new channel must not reshuffle existing streams).
-_CHANNELS = ("srs", "gps", "tof", "wind", "snr")
+_CHANNELS = ("srs", "gps", "tof", "wind", "snr", "traffic")
 
 
 class FaultInjector:
@@ -167,6 +167,26 @@ class FaultInjector:
             if bad.any():
                 perf.count("faults.snr_corrupted", int(bad.sum()))
         return keep, out
+
+
+    # -- offered traffic (serving-time MAC batches) -------------------------------
+
+    def traffic_bursts(self, offered_bytes: np.ndarray) -> np.ndarray:
+        """Amplify a random subset of UE-TTI offered-byte cells.
+
+        Models flash crowds / retransmission storms hitting the
+        *offered* load before RLC admission.  With a zero burst rate
+        the matrix passes through untouched and no RNG is drawn.
+        """
+        offered = np.asarray(offered_bytes, dtype=float)
+        if not self.plan.traffic_active or offered.size == 0:
+            return offered
+        rng = self._rng["traffic"]
+        hit = rng.random(offered.shape) < self.plan.traffic_burst_rate
+        if not hit.any():
+            return offered
+        perf.count("faults.traffic_burst", int(hit.sum()))
+        return offered * np.where(hit, self.plan.traffic_burst_factor, 1.0)
 
 
 def as_injector(faults: "FaultPlan | FaultInjector | None") -> Optional[FaultInjector]:

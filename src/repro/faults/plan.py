@@ -74,6 +74,11 @@ class FaultPlan:
     snr_corrupt_rate / snr_corrupt_sigma_db:
         Probability that a surviving SNR report is corrupted, and the
         std-dev of the corruption added to it.
+    traffic_burst_rate / traffic_burst_factor:
+        Probability that one UE-TTI's offered traffic is amplified by
+        ``traffic_burst_factor`` (a flash-crowd/retransmission-storm
+        burst on the *offered* load, before RLC admission).  Zero rate
+        draws no RNG, so existing runs stay bit-identical.
     """
 
     seed: int = 0
@@ -89,6 +94,8 @@ class FaultPlan:
     snr_drop_rate: float = 0.0
     snr_corrupt_rate: float = 0.0
     snr_corrupt_sigma_db: float = 10.0
+    traffic_burst_rate: float = 0.0
+    traffic_burst_factor: float = 5.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -97,6 +104,7 @@ class FaultPlan:
             "tof_outlier_rate",
             "snr_drop_rate",
             "snr_corrupt_rate",
+            "traffic_burst_rate",
         ):
             _check_rate(name, getattr(self, name))
         for name in (
@@ -106,6 +114,7 @@ class FaultPlan:
             "tof_outlier_bias_m",
             "wind_speed_mps",
             "snr_corrupt_sigma_db",
+            "traffic_burst_factor",
         ):
             _check_nonneg(name, getattr(self, name))
 
@@ -132,6 +141,10 @@ class FaultPlan:
         return self.snr_drop_rate > 0 or self.snr_corrupt_rate > 0
 
     @property
+    def traffic_active(self) -> bool:
+        return self.traffic_burst_rate > 0
+
+    @property
     def active(self) -> bool:
         """True if any fault channel can fire."""
         return (
@@ -140,6 +153,7 @@ class FaultPlan:
             or self.tof_active
             or self.wind_active
             or self.snr_active
+            or self.traffic_active
         )
 
     @classmethod

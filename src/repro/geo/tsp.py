@@ -140,11 +140,19 @@ def solve_tsp(
     best_order: List[int] = []
     best_len = np.inf
     for s in candidates:
-        order = _nearest_neighbour(dist, s)
+        seeds = [_nearest_neighbour(dist, s)]
         if two_opt:
-            order = _two_opt(order, dist)
-        length = tour_length(points, order)
-        if length < best_len:
-            best_len = length
-            best_order = order
+            # The nearest-neighbour tour can sit in a 2-opt local
+            # optimum that is *worse* than simply visiting the nodes in
+            # index order, so also refine the identity-from-start order
+            # — 2-opt only improves its seed, which guarantees the
+            # result is never longer than the input order.
+            seeds.append([s] + [i for i in range(n) if i != s])
+        for order in seeds:
+            if two_opt:
+                order = _two_opt(order, dist)
+            length = tour_length(points, order)
+            if length < best_len:
+                best_len = length
+                best_order = order
     return best_order

@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.lte.epc import EPC
+from repro.lte.linkadapt import OuterLoopLinkAdaptation
 from repro.lte.srs import SRSConfig, apply_channel, apply_channel_batch, make_srs_symbol
 from repro.lte.throughput import PRB_PER_10MHZ, throughput_mbps
 from repro.lte.ue import UE, UEState
@@ -51,11 +52,16 @@ class ENodeB:
         Numerology for the SRS receive path.
     n_prb:
         PRBs in the carrier (50 for 10 MHz).
+    olla:
+        Optional outer-loop link adaptation attached to this cell;
+        when present its per-UE state is forgotten on detach so a
+        re-attached UE id starts from a zero offset.
     """
 
     epc: EPC = field(default_factory=EPC)
     srs_config: SRSConfig = field(default_factory=SRSConfig)
     n_prb: int = PRB_PER_10MHZ
+    olla: Optional[OuterLoopLinkAdaptation] = None
     _ues: Dict[int, UE] = field(default_factory=dict)
 
     # -- attachment ---------------------------------------------------------------
@@ -73,6 +79,8 @@ class ENodeB:
         ue = self._ues.pop(ue_id, None)
         if ue is not None:
             self.epc.detach(ue)
+            if self.olla is not None:
+                self.olla.forget(ue_id)
 
     @property
     def ues(self) -> List[UE]:
@@ -84,22 +92,28 @@ class ENodeB:
 
     # -- scheduling ----------------------------------------------------------------
 
-    def schedule(self, snr_db_per_ue: Mapping[int, float]) -> SchedulerResult:
+    def schedule(
+        self, snr_db_per_ue: Mapping[int, float], tti: Optional[int] = None
+    ) -> SchedulerResult:
         """Round-robin PRB allocation over the connected UEs.
 
-        Each UE with a known SNR gets an equal share of the carrier
-        (remainder PRBs go to the lowest ids, as a real RR scheduler's
-        rotation averages out to).  Returns both the grant and the MAC
-        throughput each UE achieves on its share at its CQI.
+        Each UE with a known SNR gets an equal share of the carrier.
+        With a ``tti`` index, the remainder PRBs rotate over the active
+        UEs (``tti mod n_active`` positions) so long-run shares are
+        exactly fair — the rotation a real RR scheduler performs.  The
+        legacy one-shot call (``tti=None``) keeps the old biased
+        tie-break — remainder to the lowest ids — so existing artifacts
+        stay byte-identical; it equals ``tti=0``.
         """
         active = [u.ue_id for u in self.connected_ues() if u.ue_id in snr_db_per_ue]
         share: Dict[int, int] = {}
         rate: Dict[int, float] = {}
         if active:
-            base = self.n_prb // len(active)
-            rem = self.n_prb % len(active)
+            n_a = len(active)
+            base, rem = divmod(self.n_prb, n_a)
+            rho = 0 if tti is None else int(tti) % n_a
             for rank, ue_id in enumerate(sorted(active)):
-                prb = base + (1 if rank < rem else 0)
+                prb = base + (1 if (rank - rho) % n_a < rem else 0)
                 share[ue_id] = prb
                 rate[ue_id] = throughput_mbps(snr_db_per_ue[ue_id], n_prb=prb)
         return SchedulerResult(prb_share=share, throughput_mbps=rate)

@@ -60,6 +60,18 @@ class OuterLoopLinkAdaptation:
         """Reported SNR plus the learned correction."""
         return reported_snr_db + self.offset_db(ue_id)
 
+    def forget(self, ue_id: int) -> None:
+        """Drop all learned state for a UE (called on detach).
+
+        Without this, a UE id that detaches and later re-attaches —
+        possibly a different physical device — would inherit the old
+        device's offset and ACK/NACK history instead of starting from
+        a zero offset.
+        """
+        self._offsets.pop(ue_id, None)
+        self._acks.pop(ue_id, None)
+        self._nacks.pop(ue_id, None)
+
     def report(self, ue_id: int, ack: bool) -> float:
         """Fold one HARQ outcome in; returns the new offset."""
         up = self.step_db * self.target_bler / (1.0 - self.target_bler)

@@ -41,6 +41,22 @@ def relative_series(values: Iterable[float], reference: float) -> List[float]:
     return [v / reference for v in values]
 
 
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal allocation; ``1/n`` means one user gets
+    everything.  Defined as 1.0 for an empty or all-zero allocation
+    (nothing is unfairly shared).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 1.0
+    denom = float(arr.size * np.sum(arr * arr))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(arr) ** 2 / denom)
+
+
 def summarize(values: Sequence[float]) -> Dict[str, float]:
     """Five-number-ish summary used in bench printouts."""
     arr = np.asarray(list(values), dtype=float)

@@ -50,6 +50,13 @@ class EpochRecord:
         True worst-UE throughput at the served position — the KPI the
         chaos smoke watches for graceful degradation (None in old
         traces).
+    offered_mbps / served_mbps:
+        Aggregate offered and served rates from the epoch's traffic
+        MAC batch (None for legacy full-buffer/capacity configs and in
+        old traces — the controller builds no MAC simulation then).
+    backlog_bytes / dropped_bytes:
+        End-of-batch aggregate RLC backlog (inf under full-buffer
+        workloads) and cumulative tail-dropped bytes (None as above).
     """
 
     epoch: int
@@ -62,6 +69,10 @@ class EpochRecord:
     moved_ues: tuple
     altitude_m: Optional[float] = None
     min_throughput_mbps: Optional[float] = None
+    offered_mbps: Optional[float] = None
+    served_mbps: Optional[float] = None
+    backlog_bytes: Optional[float] = None
+    dropped_bytes: Optional[float] = None
 
 
 def _evaluate_epoch(
@@ -140,6 +151,7 @@ def run_epochs(
             )
         cum_d += result.flight_distance_m
         cum_t += result.flight_time_s
+        mac = getattr(controller, "last_mac_summary", None)
         record = EpochRecord(
             epoch=epoch,
             flight_distance_m=result.flight_distance_m,
@@ -151,6 +163,10 @@ def run_epochs(
             moved_ues=moved,
             altitude_m=alt,
             min_throughput_mbps=min_tput,
+            offered_mbps=None if mac is None else mac["offered_mbps"],
+            served_mbps=None if mac is None else mac["served_mbps"],
+            backlog_bytes=None if mac is None else mac["backlog_bytes"],
+            dropped_bytes=None if mac is None else mac["dropped_bytes"],
         )
         records.append(record)
         if on_epoch is not None:
