@@ -39,7 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.channel.fspl import fspl_db  # noqa: E402
 from repro.channel.groundtruth import ground_truth_stack  # noqa: E402
-from repro.perf import perf  # noqa: E402
+from repro.perf import peak_rss_bytes, perf  # noqa: E402
 from repro.sim.scenario import Scenario  # noqa: E402
 
 #: Operating altitude for the oracle measurement (a typical campus
@@ -364,6 +364,55 @@ def bench_mac(n_ues: int, repeats: int) -> dict:
     return {"n_ues": n_ues, "n_tti": n_tti, "cases": cases}
 
 
+def bench_city(ues_list, n_tti: int, shard_ues=None) -> dict:
+    """UEs-vs-runtime/peak-memory scaling curve for the city kernels.
+
+    One steady-state epoch (placement over unique REM cells, one-shot
+    OLLA convergence, sharded MAC) per population size on the "large"
+    terrain with the default half full-buffer / half CBR mix.  Each
+    point records wall time, the tracemalloc peak inside the epoch and
+    the process peak RSS — the numbers the ``--max-city-*`` gates
+    bound.  Placement cost saturates with the REM key grid while MAC
+    and serving-SNR cost grow linearly, so the curve flattens per UE
+    as the population grows.
+    """
+    from repro.city import CityScenario, shard_size  # noqa: E402
+
+    points = []
+    for n_ues in ues_list:
+        scenario = CityScenario.create(n_ues=n_ues, seed=0)
+        perf.reset()
+        t0 = time.perf_counter()
+        with perf.span("city.epoch", track_memory=True):
+            out = scenario.run_epoch(n_tti=n_tti)
+        wall = time.perf_counter() - t0
+        stat = perf.spans()["city.epoch"]
+        mac = out["mac"]
+        points.append(
+            {
+                "n_ues": n_ues,
+                "wall_s": wall,
+                "peak_alloc_bytes": stat.peak_alloc_bytes,
+                "max_rss_bytes": stat.max_rss_bytes,
+                "placement_rem_cells": perf.counter("city.placement_rem_cells"),
+                "mac_shards": perf.counter("city.mac_shards"),
+                "min_snr_db": float(out["min_snr_db"]),
+                "mean_snr_db": float(out["mean_snr_db"]),
+                "aggregate_served_mbps": float(out["aggregate_served_mbps"]),
+                "n_full_buffer": int(scenario.population.full_buffer.sum()),
+                "n_cbr": int((~scenario.population.full_buffer).sum()),
+                "total_grants": int(mac.grants.sum()),
+            }
+        )
+    return {
+        "terrain": "large",
+        "n_tti": n_tti,
+        "shard_ues": shard_size(shard_ues),
+        "olla_rounds": 4,
+        "points": points,
+    }
+
+
 def bench_headline() -> dict:
     """The headline figure in quick mode, timed with perf counters.
 
@@ -433,6 +482,35 @@ def main(argv=None) -> int:
         "only case where whole-batch vectorization applies; generous "
         "CI floor; 0 = report only)",
     )
+    parser.add_argument(
+        "--city",
+        action="store_true",
+        help="also run the city-scale scaling curve and gate peak memory "
+        "with --max-city-alloc-mb / --max-city-rss-mb",
+    )
+    parser.add_argument(
+        "--city-ues",
+        type=str,
+        default="1000,10000,100000",
+        help="comma-separated population sizes for the city curve",
+    )
+    parser.add_argument(
+        "--city-tti", type=int, default=400, help="TTIs per city MAC epoch"
+    )
+    parser.add_argument(
+        "--max-city-alloc-mb",
+        type=float,
+        default=512.0,
+        help="with --city, fail if the largest point's tracemalloc peak "
+        "exceeds this many MB (generous CI bound; 0 = report only)",
+    )
+    parser.add_argument(
+        "--max-city-rss-mb",
+        type=float,
+        default=2048.0,
+        help="with --city, fail if peak RSS after the largest point "
+        "exceeds this many MB (generous CI bound; 0 = report only)",
+    )
     args = parser.parse_args(argv)
 
     payload = {"bench": "headline_smoke"}
@@ -473,6 +551,21 @@ def main(argv=None) -> int:
                 f"{row['served_mbps']:.1f} Mbps served)"
             )
 
+    city = None
+    if args.city:
+        ues_list = [int(x) for x in args.city_ues.split(",") if x.strip()]
+        city = bench_city(ues_list, args.city_tti)
+        payload["city"] = city
+        for pt in city["points"]:
+            print(
+                f"[city] {pt['n_ues']:>7d} UEs: {pt['wall_s']:.2f} s, "
+                f"peak alloc {pt['peak_alloc_bytes'] / 1e6:.1f} MB, "
+                f"peak RSS {pt['max_rss_bytes'] / 1e6:.1f} MB, "
+                f"{pt['placement_rem_cells']} REM cells, "
+                f"{pt['mac_shards']} shards, "
+                f"{pt['aggregate_served_mbps']:.1f} Mbps served"
+            )
+
     if not args.skip_headline:
         headline = bench_headline()
         payload["headline"] = headline
@@ -483,6 +576,7 @@ def main(argv=None) -> int:
             f"centroid {row['centroid_rel']:.3f}"
         )
 
+    payload["process_peak_rss_bytes"] = peak_rss_bytes()
     args.out.parent.mkdir(parents=True, exist_ok=True)
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=float)
@@ -531,6 +625,24 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: full-buffer slab speedup {slab:.2f}x "
                 f"< required {args.min_mac_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if city is not None:
+        worst = max(city["points"], key=lambda p: p["n_ues"])
+        alloc_mb = worst["peak_alloc_bytes"] / 1e6
+        rss_mb = worst["max_rss_bytes"] / 1e6
+        if args.max_city_alloc_mb > 0 and alloc_mb > args.max_city_alloc_mb:
+            print(
+                f"FAIL: city peak allocation {alloc_mb:.1f} MB at "
+                f"{worst['n_ues']} UEs > bound {args.max_city_alloc_mb:.0f} MB",
+                file=sys.stderr,
+            )
+            return 1
+        if args.max_city_rss_mb > 0 and rss_mb > args.max_city_rss_mb:
+            print(
+                f"FAIL: city peak RSS {rss_mb:.1f} MB at "
+                f"{worst['n_ues']} UEs > bound {args.max_city_rss_mb:.0f} MB",
                 file=sys.stderr,
             )
             return 1

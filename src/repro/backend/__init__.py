@@ -1,0 +1,92 @@
+"""Pluggable array backend for the hot kernels.
+
+Three inner loops dominate the profile at city scale — the ray
+tracer's sample-below-surface count, the SRS batch kernel's phase-ramp
+synthesis, and the MAC full-buffer slab drain.  Each is funneled
+through one small op on a backend object so an accelerated
+implementation can be swapped in *under* the kernels without touching
+their logic:
+
+``numpy`` (default)
+    The reference backend.  Its ops are verbatim transcriptions of the
+    inline numpy the kernels used before the seam existed, so routing
+    through it is bit-identical to the pre-seam code by construction.
+``numba``
+    JIT-compiled loops for the integer/min-max ops (exact under any
+    evaluation order, so bit-identity is structural).  Selected with
+    ``REPRO_BACKEND=numba``; if numba is not installed the registry
+    falls back to numpy with a one-time warning and a
+    ``backend.fallback`` perf counter, so the env knob is always safe
+    to set.
+
+The seam deliberately carries only ops whose results cannot depend on
+the backend: elementwise transcendentals stay on numpy even inside the
+numba backend (SIMD libm variants are not guaranteed bit-equal across
+compilers), and no op performs a float *reduction* whose order an
+implementation could legally change.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Tuple
+
+from repro.backend.numpy_backend import NumpyBackend
+from repro.perf import perf
+
+#: Environment variable selecting the process-wide default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+_instances: Dict[str, object] = {}
+_warned: set = set()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names :func:`get_backend` accepts."""
+    return ("numpy", "numba")
+
+
+def get_backend(name: str | None = None):
+    """Resolve a backend by name (default: the ``REPRO_BACKEND`` env var).
+
+    Resolution is cached per requested name, so hot paths can call this
+    on every kernel invocation; the env var is still re-read each call,
+    so tests and benches can flip backends mid-process (after a flip the
+    first resolution of a new name pays the construction cost once).
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV, "numpy") or "numpy"
+    key = name.strip().lower()
+    inst = _instances.get(key)
+    if inst is not None:
+        return inst
+    if key == "numpy":
+        inst = NumpyBackend()
+    elif key == "numba":
+        try:
+            from repro.backend.numba_backend import NumbaBackend
+
+            inst = NumbaBackend()
+        except ImportError:
+            perf.count("backend.fallback")
+            if key not in _warned:
+                _warned.add(key)
+                warnings.warn(
+                    "REPRO_BACKEND=numba requested but numba is not "
+                    "installed; falling back to the numpy backend",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            inst = NumpyBackend()
+    else:
+        known = ", ".join(available_backends())
+        raise ValueError(f"unknown backend {name!r} (known: {known})")
+    _instances[key] = inst
+    return inst
+
+
+def reset_backend_cache() -> None:
+    """Drop cached backend instances (test helper)."""
+    _instances.clear()
+    _warned.clear()

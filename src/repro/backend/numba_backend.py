@@ -1,0 +1,90 @@
+"""Optional numba-JIT backend.
+
+Importing this module requires numba; :func:`repro.backend.get_backend`
+guards the import and falls back to numpy when it is missing, so the
+rest of the codebase never imports this file directly.
+
+Only ops whose bit-exactness is *structural* are compiled: integer
+counting of comparisons and the mul/add/min slab recurrence, where
+every elementwise IEEE-754 operation is written out separately (no
+``a*b+c`` expressions a compiler could contract into an FMA).  The
+phase-ramp op delegates to numpy cos/sin — transcendental libm
+variants across compilers are not guaranteed bit-equal, and the SRS
+chain's reproducibility contract is non-negotiable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numba import njit, prange  # noqa: F401  (ImportError => numpy fallback)
+
+from repro.backend.numpy_backend import NumpyBackend
+
+
+@njit(cache=True)
+def _count_below(zs: np.ndarray, surface: np.ndarray) -> np.ndarray:
+    n, m = zs.shape
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        c = 0
+        for j in range(m):
+            if zs[i, j] < surface[i, j]:
+                c += 1
+        out[i] = c
+    return out
+
+
+@njit(cache=True)
+def _mac_slab_serve(
+    grants: np.ndarray,
+    rates: np.ndarray,
+    backlog0: np.ndarray,
+    accepted: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    n, n_tti = accepted.shape
+    served = np.empty((n, n_tti), dtype=np.float64)
+    backlog_end = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        b0 = backlog0[i]
+        r = rates[i]
+        avail_last = b0
+        served_last = 0.0
+        for t in range(n_tti):
+            avail = b0 + accepted[i, t]
+            cap = grants[i, t] * r
+            s = avail if avail < cap else cap
+            served[i, t] = s
+            avail_last = avail
+            served_last = s
+        if n_tti:
+            backlog_end[i] = avail_last - served_last
+        else:
+            backlog_end[i] = b0
+    return served, backlog_end
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-compiled integer/min-max kernels; numpy for everything else."""
+
+    name = "numba"
+
+    def count_below(self, zs: np.ndarray, surface: np.ndarray) -> np.ndarray:
+        return _count_below(
+            np.ascontiguousarray(zs), np.ascontiguousarray(surface)
+        )
+
+    def mac_slab_serve(
+        self,
+        grants: np.ndarray,
+        rates: np.ndarray,
+        backlog0: np.ndarray,
+        accepted: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return _mac_slab_serve(
+            np.ascontiguousarray(grants, dtype=np.int64),
+            np.ascontiguousarray(rates, dtype=np.float64),
+            np.ascontiguousarray(backlog0, dtype=np.float64),
+            np.ascontiguousarray(accepted, dtype=np.float64),
+        )

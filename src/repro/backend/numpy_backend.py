@@ -1,0 +1,63 @@
+"""The reference numpy backend.
+
+Every op is a verbatim transcription of the inline numpy the host
+kernel used before the backend seam existed — the op *is* the
+reference semantics an accelerated backend must reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class NumpyBackend:
+    """Reference implementations of the seamed hot-kernel ops."""
+
+    name = "numpy"
+
+    def count_below(self, zs: np.ndarray, surface: np.ndarray) -> np.ndarray:
+        """Per-row count of ray samples strictly below the surface.
+
+        ``zs`` and ``surface`` are ``(n_rays, n_samples)``; the result
+        is int64.  Integer counting of an elementwise comparison, so
+        any backend evaluating the same comparisons is exact.
+        """
+        return np.count_nonzero(zs < surface, axis=1)
+
+    def cis(self, theta: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out = exp(1j * theta)`` written into a preallocated array.
+
+        ``out`` may be a view (the SRS kernel passes the leading half
+        of its ramp buffer).  cos/sin stay on numpy in every backend:
+        their results are the bit-exactness contract of the SRS chain.
+        """
+        out.real = np.cos(theta)
+        out.imag = np.sin(theta)
+        return out
+
+    def mac_slab_serve(
+        self,
+        grants: np.ndarray,
+        rates: np.ndarray,
+        backlog0: np.ndarray,
+        accepted: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Drain a whole full-buffer TTI slab in one shot.
+
+        ``grants`` is ``(n_ues, n_tti)`` int64, ``rates``/``backlog0``
+        are per-UE, ``accepted`` is the admitted arrivals matrix.
+        Returns ``(served, backlog_end)`` with the exact recurrence of
+        the scalar kernel: ``avail = backlog + accepted``,
+        ``served = min(avail, grants * rates)`` — independent per TTI
+        because an infinite backlog never changes.
+        """
+        cap = grants * rates[:, None]
+        avail = backlog0[:, None] + accepted
+        served = np.minimum(avail, cap)
+        if accepted.shape[1]:
+            backlog_end = (avail - served)[:, -1]
+        else:
+            backlog_end = backlog0.copy()
+        return served, backlog_end

@@ -50,8 +50,31 @@ def ground_truth_stack(
     """Oracle SNR maps for all UEs, stacked ``(n_ue, ny, nx)``."""
     if len(ue_positions) == 0:
         g = grid or model.terrain.grid
-        return np.empty((0,) + g.shape)
+        # Pin the dtype: an empty np.empty would default to float64 by
+        # accident, not by contract with snr_maps' output.
+        return np.empty((0,) + g.shape, dtype=float)
     with perf.span("groundtruth.stack"):
         return model.snr_maps(
             ue_positions, altitude, grid, workers=workers, use_cache=use_cache
         )
+
+
+def iter_ground_truth_tiles(
+    model: ChannelModel,
+    ue_positions: Sequence,
+    altitude: float,
+    grid: Optional[GridSpec] = None,
+    *,
+    tile_rows: int = 64,
+    ue_chunk: Optional[int] = None,
+):
+    """Stream the oracle stack as ``(ue_slice, row_slice, block)`` tiles.
+
+    The memory-bounded counterpart of :func:`ground_truth_stack`: cell
+    values are bit-identical, but no ``(n_ue, ny, nx)`` array is ever
+    materialized — consumers fold tiles as they arrive (see
+    :mod:`repro.rem.streaming`).
+    """
+    yield from model.iter_snr_map_tiles(
+        ue_positions, altitude, grid, tile_rows=tile_rows, ue_chunk=ue_chunk
+    )

@@ -365,6 +365,117 @@ class ChannelModel:
             )
         )
 
+    # -- tile-streamed map oracle --------------------------------------------------
+
+    def iter_path_loss_map_tiles(
+        self,
+        ue_positions: Sequence,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        *,
+        tile_rows: int = 64,
+        ue_chunk: Optional[int] = None,
+    ):
+        """Stream path-loss maps as ``(ue_slice, row_slice, block)`` tiles.
+
+        Yields blocks of shape ``(k, rows, nx)`` covering ``tile_rows``
+        grid rows for ``k`` UEs at a time, so a consumer folding tiles
+        as they arrive holds O(tile) memory instead of the full
+        ``(n_ue, ny, nx)`` stack.  Every cell value is **bit-identical**
+        to the materialized :meth:`path_loss_maps` path: the ray
+        tracer's per-ray sampling does not depend on batch composition,
+        and the shadowing/FSPL terms are per-point lookups, so
+        restricting the computation to a band of rows changes nothing
+        per cell.
+
+        ``ue_chunk`` defaults to the same ray budget the materialized
+        kernel uses, applied per band.  Tiles are yielded band-major
+        (all UE chunks of one band before the next band) so row-wise
+        folds touch each output row over a contiguous stretch.
+        """
+        if tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {tile_rows}")
+        if ue_chunk is not None and ue_chunk < 1:
+            raise ValueError(f"ue_chunk must be >= 1, got {ue_chunk}")
+        g = grid or self.terrain.grid
+        ues = [np.asarray(u, dtype=float).reshape(3) for u in ue_positions]
+        if not ues:
+            return
+        ny, nx = g.shape
+        centers = g.centers_flat()
+        alt = float(altitude)
+        for r0 in range(0, ny, tile_rows):
+            r1 = min(r0 + tile_rows, ny)
+            band = centers[r0 * nx : r1 * nx]
+            n_cells = len(band)
+            uav = np.column_stack([band, np.full(n_cells, alt)])
+            chunk = ue_chunk or max(1, _MAP_CHUNK_RAYS // n_cells)
+            for lo in range(0, len(ues), chunk):
+                batch = ues[lo : lo + chunk]
+                k = len(batch)
+                with perf.span("oracle.map_tiles"):
+                    tx = np.tile(uav, (k, 1))
+                    rx = np.repeat(np.stack(batch), n_cells, axis=0)
+                    obstructed = obstructed_lengths(
+                        self.terrain, tx, rx, self.ray_step_m
+                    )
+                    block = np.empty((k, r1 - r0, nx), dtype=float)
+                    for j, ue in enumerate(batch):
+                        obs = obstructed[j * n_cells : (j + 1) * n_cells]
+                        block[j] = self._loss_from_obstructed(uav, ue, obs).reshape(
+                            r1 - r0, nx
+                        )
+                perf.count("oracle.map_tiles_yielded")
+                yield slice(lo, lo + k), slice(r0, r1), block
+
+    def iter_snr_map_tiles(
+        self,
+        ue_positions: Sequence,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        *,
+        tile_rows: int = 64,
+        ue_chunk: Optional[int] = None,
+    ):
+        """Stream SNR maps as ``(ue_slice, row_slice, block)`` tiles.
+
+        The streamed counterpart of :meth:`snr_maps`; see
+        :meth:`iter_path_loss_map_tiles` for the tiling and exactness
+        contract.
+        """
+        for ue_sl, row_sl, block in self.iter_path_loss_map_tiles(
+            ue_positions, altitude, grid, tile_rows=tile_rows, ue_chunk=ue_chunk
+        ):
+            yield ue_sl, row_sl, self.link.snr_db(block)
+
+    def snr_to_many(self, uav_xyz: np.ndarray, ue_positions: Sequence) -> np.ndarray:
+        """Mean SNR (dB) from one UAV position to many UEs.
+
+        The transpose of :meth:`snr_db` (one UE, many UAV positions),
+        and the shape the city-scale MAC needs: the serving SNR of a
+        whole population at the chosen placement.  Bit-identical to
+        calling :meth:`snr_db` once per UE.  With per-UE shadowing
+        enabled each UE's frozen field must be sampled separately, so
+        the method degrades to exactly that per-UE loop; with it
+        disabled (the city configuration) the whole population runs
+        through one vectorized ray batch.
+        """
+        uav = np.asarray(uav_xyz, dtype=float).reshape(3)
+        ues = np.atleast_2d(np.asarray(ue_positions, dtype=float))
+        if ues.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        if self.shadowing_sigma_db > 0:
+            return np.array([self.snr_db(uav, ue) for ue in ues], dtype=float)
+        obstructed = obstructed_lengths(
+            self.terrain, uav[None, :], ues, self.ray_step_m
+        )
+        dist = np.linalg.norm(uav[None, :] - ues, axis=1)
+        loss = fspl_db(dist, self.freq_hz)
+        loss = loss + self._excess_db(obstructed)
+        if self.common_sigma_db > 0:
+            loss = loss + self._common_shadowing().at_many(uav[None, :2])
+        return self.link.snr_db(loss)
+
     def _compute_path_loss_maps(
         self, ues: Sequence[np.ndarray], altitude: float, g: GridSpec
     ) -> np.ndarray:

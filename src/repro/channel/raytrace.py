@@ -31,6 +31,7 @@ from typing import NamedTuple, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.perf import perf
 from repro.terrain.heightmap import Terrain
 
@@ -193,9 +194,9 @@ def _blocked_fractions(
             xs = txc[:, None, 0] + tc[None, :] * (rxc[:, 0] - txc[:, 0])[:, None]
             ys = txc[:, None, 1] + tc[None, :] * (rxc[:, 1] - txc[:, 1])[:, None]
             surface = terrain.heights_at_xy(xs, ys)
-            blocked = zs[:, cols] < surface
-            perf.count("raytrace.samples_traced", blocked.size)
-            out[sel] = np.count_nonzero(blocked, axis=1) / n_steps
+            zsel = zs[:, cols]
+            perf.count("raytrace.samples_traced", zsel.size)
+            out[sel] = get_backend().count_below(zsel, surface) / n_steps
     return out
 
 

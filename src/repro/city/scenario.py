@@ -1,0 +1,170 @@
+"""City-scale scenario: placement, link adaptation and MAC at 10⁵ UEs.
+
+Ties the three city layers together into one steady-state epoch:
+
+* **Placement** streams map tiles for the population's *unique REM
+  cells* (not all UEs) through the max–min fold, so the placement
+  surface costs O(unique cells × grid-band), and unique cells saturate
+  at the key-grid size as the population grows.
+* **Serving SNR** for the whole population comes from one vectorized
+  one-Tx-many-Rx ray batch
+  (:meth:`~repro.channel.model.ChannelModel.snr_to_many`).
+* **OLLA + MAC** run on the flat population blocks, shard by shard.
+
+The city channel disables per-UE shadowing fields (each frozen field
+is O(grid) — 10⁵ of them cannot exist) and keeps the common
+UAV-position field, which is the component placement can exploit
+anyway; the ray step defaults to the terrain cell size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.model import ChannelModel
+from repro.city.mac import CityMACResult, run_city_mac
+from repro.city.population import UEPopulation
+from repro.core.placement import PlacementResult
+from repro.geo.grid import GridSpec
+from repro.lte.linkadapt import OLLABank
+from repro.lte.throughput import PRB_PER_10MHZ, _THRESHOLDS, cqi_from_snr, throughput_mbps
+from repro.perf import perf
+from repro.rem.streaming import streamed_max_min_placement
+from repro.terrain.generators import make_terrain
+from repro.traffic.generators import BYTES_PER_TTI_PER_MBPS
+
+
+@dataclass
+class CityScenario:
+    """A terrain, a channel tuned for scale, and a flat UE population."""
+
+    terrain: object
+    channel: ChannelModel
+    population: UEPopulation
+    altitude_m: float
+    eval_grid: GridSpec
+    olla: OLLABank = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.olla = OLLABank(n_ues=self.population.n_ues)
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        terrain_name: str = "large",
+        cell_size_m: float = 4.0,
+        n_ues: int = 1000,
+        seed: int = 0,
+        altitude_m: float = 60.0,
+        eval_cell_m: float = 16.0,
+        rem_cell_m: float = 32.0,
+        full_buffer_fraction: float = 0.5,
+        cbr_rate_mbps: float = 2.0,
+    ) -> "CityScenario":
+        """Build a city scenario on a named terrain.
+
+        ``eval_cell_m`` sets the placement-surface resolution and
+        ``rem_cell_m`` the population's REM key pitch (coarser keys →
+        fewer unique map cells → cheaper placement).
+        """
+        terrain = make_terrain(terrain_name, cell_size=cell_size_m, seed=seed)
+        channel = ChannelModel(
+            terrain=terrain,
+            shadowing_sigma_db=0.0,
+            ray_step_m=cell_size_m,
+            seed=seed,
+        )
+        population = UEPopulation.sample(
+            terrain,
+            n_ues,
+            seed=seed,
+            full_buffer_fraction=full_buffer_fraction,
+            cbr_rate_mbps=cbr_rate_mbps,
+            rem_cell_m=rem_cell_m,
+        )
+        factor = max(1, int(round(eval_cell_m / cell_size_m)))
+        eval_grid = terrain.grid.coarsen(factor)
+        return cls(
+            terrain=terrain,
+            channel=channel,
+            population=population,
+            altitude_m=float(altitude_m),
+            eval_grid=eval_grid,
+        )
+
+    # -- placement ---------------------------------------------------------------
+
+    def place(self, *, tile_rows: int = 16) -> PlacementResult:
+        """Max–min placement over the population's unique REM cells.
+
+        Streams SNR-map tiles for one representative UE per occupied
+        REM key cell and folds them into the placement surface — peak
+        memory O(unique cells × band), never O(population × grid).
+        """
+        _keys, reps, _inverse = self.population.unique_rem_cells()
+        perf.count("city.placement_rem_cells", len(reps))
+        with perf.span("city.place"):
+            tiles = self.channel.iter_snr_map_tiles(
+                list(reps), self.altitude_m, self.eval_grid, tile_rows=tile_rows
+            )
+            return streamed_max_min_placement(self.eval_grid, tiles, self.altitude_m)
+
+    # -- link adaptation ---------------------------------------------------------
+
+    def serving_snr_db(self, uav_xyz: np.ndarray) -> np.ndarray:
+        """Mean serving SNR of every UE from the given UAV position."""
+        with perf.span("city.serving_snr"):
+            return self.channel.snr_to_many(uav_xyz, self.population.xyz)
+
+    def olla_round(
+        self, snr_db: np.ndarray, *, fading_margin_db: float = 0.0
+    ) -> np.ndarray:
+        """One deterministic HARQ feedback round through the OLLA bank.
+
+        The eNodeB schedules at the OLLA-corrected SNR; the block
+        decodes iff the true mean SNR covers the scheduled CQI's
+        switching threshold minus ``fading_margin_db``.  UEs scheduled
+        at CQI 0 get no transport block and report nothing — matching
+        the scalar :func:`~repro.lte.linkadapt.simulate_link` loop.
+        Returns the effective (corrected) SNR used this round.
+        """
+        effective = self.olla.effective_snr_db(snr_db)
+        cqi = cqi_from_snr(effective)
+        sel = np.flatnonzero(cqi > 0)
+        if len(sel):
+            needed = _THRESHOLDS[cqi[sel] - 1] - fading_margin_db
+            self.olla.report_batch(np.asarray(snr_db)[sel] >= needed, sel=sel)
+        self.population.olla_offset_db[:] = self.olla.offsets_db
+        return effective
+
+    # -- one epoch ---------------------------------------------------------------
+
+    def run_epoch(
+        self,
+        *,
+        n_tti: int = 200,
+        n_prb: int = PRB_PER_10MHZ,
+        olla_rounds: int = 4,
+        shard_ues: Optional[int] = None,
+    ) -> dict:
+        """Place, adapt and serve one epoch; returns summary metrics."""
+        placement = self.place()
+        snr = self.serving_snr_db(placement.position.as_array())
+        effective = snr
+        for _ in range(int(olla_rounds)):
+            effective = self.olla_round(snr)
+        rates = throughput_mbps(effective, n_prb=1) * BYTES_PER_TTI_PER_MBPS
+        mac = run_city_mac(
+            self.population, rates, n_tti, n_prb=n_prb, shard_ues=shard_ues
+        )
+        return {
+            "placement": placement,
+            "min_snr_db": placement.min_snr_db,
+            "mean_snr_db": float(snr.mean()),
+            "aggregate_served_mbps": mac.aggregate_served_mbps(),
+            "mac": mac,
+        }

@@ -11,6 +11,6 @@ See :mod:`repro.perf.registry` for the core registry.  Typical use::
     print("\\n".join(perf.report_lines()))
 """
 
-from repro.perf.registry import PerfRegistry, SpanStat, perf
+from repro.perf.registry import PerfRegistry, SpanStat, peak_rss_bytes, perf
 
-__all__ = ["PerfRegistry", "SpanStat", "perf"]
+__all__ = ["PerfRegistry", "SpanStat", "peak_rss_bytes", "perf"]

@@ -18,19 +18,42 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
 
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS, where the
+    kernel reports it that way); normalized here to bytes.  It is a
+    high-water mark — it never decreases — which is exactly the bound
+    the memory-scaling gates need.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if os.uname().sysname == "Darwin":
+        return int(rss)
+    return int(rss) * 1024
+
+
 @dataclass
 class SpanStat:
-    """Accumulated statistics for one named span."""
+    """Accumulated statistics for one named span.
+
+    ``peak_alloc_bytes`` / ``max_rss_bytes`` stay 0 unless the span was
+    entered with ``track_memory=True``; they record the worst call
+    (high-water marks, not accumulations).
+    """
 
     calls: int = 0
     total_s: float = 0.0
+    peak_alloc_bytes: int = 0
+    max_rss_bytes: int = 0
 
     @property
     def mean_s(self) -> float:
@@ -54,22 +77,48 @@ class PerfRegistry:
     # -- recording -----------------------------------------------------------
 
     @contextmanager
-    def span(self, name: str) -> Iterator[None]:
-        """Time a ``with`` block under ``name`` (accumulating)."""
+    def span(self, name: str, track_memory: bool = False) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulating).
+
+        With ``track_memory=True`` the span additionally records the
+        peak tracemalloc allocation size reached inside the block and
+        the process peak RSS at exit — the numbers the city-scale
+        memory gates assert.  Tracing is started on demand (and stopped
+        again if this span started it), so untracked spans pay nothing;
+        tracked spans pay tracemalloc's allocation-hook overhead, so
+        reserve the flag for coarse, bench-level spans.
+        """
         if not self.enabled:
             yield
             return
+        started_tracing = False
+        if track_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                started_tracing = True
+            tracemalloc.reset_peak()
         t0 = time.perf_counter()
         try:
             yield
         finally:
             dt = time.perf_counter() - t0
+            peak_alloc = 0
+            max_rss = 0
+            if track_memory:
+                _, peak_alloc = tracemalloc.get_traced_memory()
+                if started_tracing:
+                    tracemalloc.stop()
+                max_rss = peak_rss_bytes()
             with self._lock:
                 stat = self._spans.get(name)
                 if stat is None:
                     stat = self._spans[name] = SpanStat()
                 stat.calls += 1
                 stat.total_s += dt
+                if peak_alloc > stat.peak_alloc_bytes:
+                    stat.peak_alloc_bytes = peak_alloc
+                if max_rss > stat.max_rss_bytes:
+                    stat.max_rss_bytes = max_rss
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the named counter."""
@@ -91,7 +140,10 @@ class PerfRegistry:
 
     def spans(self) -> Dict[str, SpanStat]:
         with self._lock:
-            return {k: SpanStat(v.calls, v.total_s) for k, v in self._spans.items()}
+            return {
+                k: SpanStat(v.calls, v.total_s, v.peak_alloc_bytes, v.max_rss_bytes)
+                for k, v in self._spans.items()
+            }
 
     def counters_since(self, before: Dict[str, int]) -> Dict[str, int]:
         """Positive counter deltas since a ``counters()`` snapshot.
@@ -133,17 +185,26 @@ class PerfRegistry:
         return {"spans": spans, "counters": counters}
 
     def snapshot(self) -> Dict:
-        """JSON-ready dict of every span and counter."""
+        """JSON-ready dict of every span and counter.
+
+        Memory fields appear only on spans that actually tracked memory
+        so artifacts from untracked runs keep their historical shape.
+        """
         with self._lock:
+            spans: Dict[str, Dict] = {}
+            for name, stat in sorted(self._spans.items()):
+                entry = {
+                    "calls": stat.calls,
+                    "total_s": stat.total_s,
+                    "mean_s": stat.mean_s,
+                }
+                if stat.peak_alloc_bytes > 0:
+                    entry["peak_alloc_bytes"] = stat.peak_alloc_bytes
+                if stat.max_rss_bytes > 0:
+                    entry["max_rss_bytes"] = stat.max_rss_bytes
+                spans[name] = entry
             return {
-                "spans": {
-                    name: {
-                        "calls": stat.calls,
-                        "total_s": stat.total_s,
-                        "mean_s": stat.mean_s,
-                    }
-                    for name, stat in sorted(self._spans.items())
-                },
+                "spans": spans,
                 "counters": dict(sorted(self._counters.items())),
             }
 

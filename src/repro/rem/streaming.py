@@ -1,0 +1,141 @@
+"""Streaming folds over map tiles.
+
+City-scale populations make the ``(n_ue, ny, nx)`` stack the memory
+bottleneck of every map consumer, but the aggregations the system
+actually needs — the min-SNR surface behind max–min placement, coverage
+counts, the aggregate REM — are all folds: they can consume the tiles
+of :meth:`~repro.channel.model.ChannelModel.iter_snr_map_tiles` as they
+arrive and keep only O(grid) state.
+
+Exactness
+---------
+
+Tiles carry a ``(ue_slice, row_slice, block)`` triple and each cell
+value is bit-identical to the materialized stack (the tile generator's
+contract), so the only question is whether the *fold* commutes with
+chunking:
+
+* ``min`` and integer counting are exact under any chunking — the
+  minimum of minima is the minimum, and both numpy's axis-0 reduce and
+  the chunked fold visit UEs in ascending index order;
+* float **sums** are exact only when each tile spans the full UE axis
+  (reassociating a float sum changes rounding), which is why
+  :func:`streamed_aggregate_rem` documents that caveat explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.placement import PlacementResult
+from repro.geo.grid import GridSpec
+from repro.geo.points import Point3D
+from repro.rem.aggregate import argmax_cell
+
+#: A streamed map tile: which UEs, which grid rows, and the
+#: ``(n_ue_chunk, n_rows, nx)`` block of values.
+Tile = Tuple[slice, slice, np.ndarray]
+
+
+def streamed_min_snr_map(tiles: Iterable[Tile], shape: Tuple[int, int]) -> np.ndarray:
+    """Cell-wise minimum over streamed per-UE map tiles.
+
+    Bit-identical to ``np.min(stack, axis=0)`` over the materialized
+    stack: min folds exactly under chunking, NaN poisons a cell in both
+    paths, and rows no tile covers stay ``+inf`` (a coverage bug the
+    caller's tile source should make impossible).
+    """
+    out = np.full(shape, np.inf)
+    seen = False
+    for _ue_sl, row_sl, block in tiles:
+        seen = True
+        np.minimum(out[row_sl], block.min(axis=0), out=out[row_sl])
+    if not seen:
+        raise ValueError("need at least one tile (empty UE population?)")
+    return out
+
+
+def streamed_coverage_counts(
+    tiles: Iterable[Tile], shape: Tuple[int, int], threshold_db: float
+) -> np.ndarray:
+    """Per-cell count of UEs whose map meets ``threshold_db``.
+
+    Integer accumulation, exact under any tiling; equals
+    ``(stack >= threshold_db).sum(axis=0)`` on the materialized stack.
+    """
+    out = np.zeros(shape, dtype=np.int64)
+    for _ue_sl, row_sl, block in tiles:
+        out[row_sl] += (block >= threshold_db).sum(axis=0)
+    return out
+
+
+def streamed_aggregate_rem(tiles: Iterable[Tile], shape: Tuple[int, int]) -> np.ndarray:
+    """Cell-wise NaN-ignoring sum over streamed per-UE map tiles.
+
+    Matches :func:`repro.rem.aggregate.aggregate_rem` bit-for-bit when
+    each tile spans the **full UE axis** (``ue_chunk >= n_ue``); with a
+    smaller UE chunk the float sum is reassociated, so agreement is
+    only up to rounding — prefer full-UE tiles when exactness matters.
+    """
+    out = np.zeros(shape, dtype=float)
+    all_nan = np.ones(shape, dtype=bool)
+    seen = False
+    for _ue_sl, row_sl, block in tiles:
+        seen = True
+        nan = np.isnan(block)
+        all_nan[row_sl] &= nan.all(axis=0)
+        with np.errstate(invalid="ignore"):
+            out[row_sl] += np.nansum(block, axis=0)
+    if not seen:
+        raise ValueError("need at least one tile (empty UE population?)")
+    out[all_nan] = np.nan
+    return out
+
+
+def streamed_max_min_placement(
+    grid: GridSpec,
+    tiles: Iterable[Tile],
+    altitude: float,
+) -> PlacementResult:
+    """Max–min placement folded from streamed tiles (Section 3.4).
+
+    The streamed counterpart of
+    :func:`repro.core.placement.max_min_placement`: the min-SNR surface
+    is folded tile-by-tile (O(grid) peak memory, never O(n_ue * grid))
+    and its argmax — same first-max row-major tie-break — is the
+    chosen cell.
+    """
+    mm = streamed_min_snr_map(tiles, grid.shape)
+    iy, ix = argmax_cell(mm)
+    x, y = grid.center_of(ix, iy)
+    return PlacementResult(
+        position=Point3D(x, y, float(altitude)),
+        min_snr_db=float(mm[iy, ix]),
+        cell=(iy, ix),
+    )
+
+
+def interpolate_tile(
+    interpolator,
+    grid: GridSpec,
+    values: np.ndarray,
+    rows: slice,
+    measured_mask: Optional[np.ndarray] = None,
+    fallback: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One row-band of an interpolated map, via the cheapest exact path.
+
+    Interpolators that implement ``interpolate_tile`` (IDW does —
+    k-NN estimates are per-cell, so a band costs O(band)) are asked
+    for just the band; anything else falls back to interpolating the
+    full map and slicing, which is exact by construction.
+    """
+    tile = getattr(interpolator, "interpolate_tile", None)
+    if tile is not None:
+        return tile(grid, values, rows, measured_mask=measured_mask, fallback=fallback)
+    full = interpolator.interpolate(
+        grid, values, measured_mask=measured_mask, fallback=fallback
+    )
+    return full[rows].copy()

@@ -37,13 +37,19 @@ class QueueBank:
     limit_bytes:
         Tail-drop buffer bound per UE; ``0`` means unbounded.
     full_buffer:
-        Seed every queue with an infinite backlog (the legacy
-        assumption) instead of empty.
+        Seed queues with an infinite backlog (the legacy assumption)
+        instead of empty.  Either one bool for the whole bank or a
+        per-UE bool array, so one bank can mix full-buffer UEs with
+        finite-traffic UEs.  After construction the attribute is the
+        scalar ``bool`` "every UE is full-buffer" (preserving the
+        truthiness the all-or-nothing callers test) and the per-UE
+        view lives in ``full_buffer_mask``.
     """
 
     ue_ids: Tuple[int, ...]
     limit_bytes: float = 0.0
     full_buffer: bool = False
+    full_buffer_mask: np.ndarray = field(init=False)
     backlog_bytes: np.ndarray = field(init=False)
     arrived_bytes: np.ndarray = field(init=False)
     dropped_bytes: np.ndarray = field(init=False)
@@ -59,8 +65,12 @@ class QueueBank:
             raise ValueError(f"limit_bytes must be >= 0, got {self.limit_bytes}")
         self.ue_ids = ids
         n = len(ids)
-        fill = np.inf if self.full_buffer else 0.0
-        self.backlog_bytes = np.full(n, fill, dtype=float)
+        mask = np.broadcast_to(
+            np.asarray(self.full_buffer, dtype=bool), (n,)
+        ).copy()
+        self.full_buffer_mask = mask
+        self.full_buffer = bool(mask.all())
+        self.backlog_bytes = np.where(mask, np.inf, 0.0)
         self.arrived_bytes = np.zeros(n, dtype=float)
         self.dropped_bytes = np.zeros(n, dtype=float)
         self.served_bytes = np.zeros(n, dtype=float)

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.lte.throughput import PRB_PER_10MHZ, throughput_mbps
 from repro.perf import perf
 from repro.traffic.generators import (
@@ -177,6 +178,30 @@ def run_tti_batch(
     )
 
 
+def _constant_schedulable(
+    rate_ok: np.ndarray, offered: np.ndarray, queues: QueueBank
+) -> Optional[np.ndarray]:
+    """The schedulable set, iff it provably cannot change in-batch.
+
+    A UE is schedulable at TTI ``t`` when ``avail > 0`` and its rate is
+    positive.  That predicate is time-invariant when every UE falls in
+    one of three classes: full buffer (``avail`` stays infinite),
+    offering bytes *every* TTI (``avail >= backlog >= 0`` plus a
+    positive arrival, or a backlog pinned at a positive limit), or
+    never schedulable (zero rate, or nothing offered over an empty
+    queue).  Any UE outside these classes — e.g. a finite backlog
+    draining with no arrivals — couples the set to the queue dynamics,
+    and the caller must fall back to the per-TTI scheduler loop.
+    """
+    fb = queues.full_buffer_mask
+    positive = offered > 0.0
+    always = positive.all(axis=1)
+    never = ~positive.any(axis=1) & (queues.backlog_bytes == 0.0) & ~fb
+    if not bool(np.all(fb | always | never | ~rate_ok)):
+        return None
+    return rate_ok & (fb | always)
+
+
 def _run_kernel(
     rates: np.ndarray,
     offered: np.ndarray,
@@ -189,25 +214,52 @@ def _run_kernel(
     rate_ok = rates > 0.0
     limit = float(queues.limit_bytes)
 
-    if queues.full_buffer:
-        # The schedulable set is frozen (backlog stays infinite), so a
-        # stateless scheduler can emit the whole batch in one slab.
-        schedulable = rate_ok.copy()
+    schedulable = _constant_schedulable(rate_ok, offered, queues)
+    if schedulable is not None:
+        # The schedulable set is frozen, so a stateless scheduler can
+        # emit the whole batch in one grant slab.
         slab = scheduler.grants_slab(schedulable, rates, n_prb, tti0, n_tti)
-        if slab is not None:
-            grants = slab
-            # room over an infinite backlog is 0, so a finite limit
-            # drops every offered byte; unbounded queues accept all.
+    else:
+        slab = None
+
+    if slab is not None and queues.full_buffer:
+        grants = slab
+        # room over an infinite backlog is 0, so a finite limit
+        # drops every offered byte; unbounded queues accept all.
+        if limit > 0:
+            dropped = offered.copy()
+        else:
+            dropped = np.zeros_like(offered)
+        served, backlog = get_backend().mac_slab_serve(
+            grants, rates, queues.backlog_bytes, offered - dropped
+        )
+        perf.count("sched.slab_tti", int(n_tti))
+        return grants, dropped, served, backlog
+
+    if slab is not None:
+        # Mixed full-buffer/always-offering population: grants are
+        # hoisted out of the loop, but finite backlogs couple one TTI
+        # to the next (a Lindley recurrence), so the admit/drain walk
+        # stays per-TTI — elementwise numpy, no scheduler calls.
+        grants = slab
+        caps = grants * rates[:, None]
+        dropped = np.zeros((n, n_tti), dtype=float)
+        served = np.zeros((n, n_tti), dtype=float)
+        backlog = queues.backlog_bytes.copy()
+        for t in range(n_tti):
+            off_t = offered[:, t]
             if limit > 0:
-                dropped = offered.copy()
+                room = np.maximum(limit - backlog, 0.0)
+                accepted = np.minimum(off_t, room)
+                dropped[:, t] = off_t - accepted
             else:
-                dropped = np.zeros_like(offered)
-            cap = grants * rates[:, None]
-            avail = queues.backlog_bytes[:, None] + (offered - dropped)
-            served = np.minimum(avail, cap)
-            backlog = (avail - served)[:, -1] if n_tti else queues.backlog_bytes.copy()
-            perf.count("sched.slab_tti", int(n_tti))
-            return grants, dropped, served, backlog
+                accepted = off_t
+            avail = backlog + accepted
+            served_t = np.minimum(avail, caps[:, t])
+            backlog = avail - served_t
+            served[:, t] = served_t
+        perf.count("sched.slab_tti", int(n_tti))
+        return grants, dropped, served, backlog
 
     grants = np.zeros((n, n_tti), dtype=np.int64)
     dropped = np.zeros((n, n_tti), dtype=float)

@@ -1,0 +1,213 @@
+"""Tile-streamed map oracle vs the materialized path: exact equivalence.
+
+The streaming contract is *bit*-identity, not closeness: each streamed
+tile must carry exactly the values of the corresponding slab of the
+materialized ``(n_ue, ny, nx)`` stack, for every tiling — including
+row counts that do not divide the grid height and UE chunks that do
+not divide the population.  The folds (min, counts, placement) must
+then commute with the tiling, and the IDW row-band interpolation must
+equal the sliced full interpolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.groundtruth import ground_truth_stack, iter_ground_truth_tiles
+from repro.core.placement import max_min_placement
+from repro.geo.grid import GridSpec
+from repro.rem.aggregate import aggregate_rem, min_snr_map
+from repro.rem.idw import idw_interpolate, idw_interpolate_rows
+from repro.rem.interpolate import IDWInterpolator
+from repro.rem.streaming import (
+    interpolate_tile,
+    streamed_aggregate_rem,
+    streamed_coverage_counts,
+    streamed_max_min_placement,
+    streamed_min_snr_map,
+)
+
+ALTITUDE = 60.0
+
+
+@pytest.fixture()
+def ues(box_terrain):
+    """Five UEs scattered over the one-building world."""
+    rng = np.random.default_rng(7)
+    g = box_terrain.grid
+    xy = rng.uniform(5.0, 95.0, size=(5, 2))
+    z = box_terrain.heights_at_xy(xy[:, 0], xy[:, 1]) + 1.5
+    return np.column_stack([xy, z])
+
+
+def _reassemble(tiles, n_ue, shape):
+    out = np.full((n_ue,) + shape, np.nan)
+    for ue_sl, row_sl, block in tiles:
+        assert np.all(np.isnan(out[ue_sl, row_sl])), "tiles overlap"
+        out[ue_sl, row_sl] = block
+    return out
+
+
+# -- tile generator vs materialized stack ---------------------------------------
+
+
+@pytest.mark.parametrize("tile_rows", [7, 13, 50])
+@pytest.mark.parametrize("ue_chunk", [None, 1, 2])
+def test_snr_tiles_bit_identical_to_snr_maps(box_channel, ues, tile_rows, ue_chunk):
+    """Every tiling reassembles to exactly the materialized stack.
+
+    50 rows is the full grid height of the 100 m / 2 m world; 7 and 13
+    do not divide it, exercising the ragged last band.
+    """
+    grid = box_channel.terrain.grid
+    stack = box_channel.snr_maps(ues, ALTITUDE, use_cache=False)
+    tiles = box_channel.iter_snr_map_tiles(
+        ues, ALTITUDE, tile_rows=tile_rows, ue_chunk=ue_chunk
+    )
+    rebuilt = _reassemble(tiles, len(ues), grid.shape)
+    assert np.array_equal(rebuilt, stack)
+
+
+def test_ground_truth_tiles_match_stack(box_channel, ues):
+    stack = ground_truth_stack(box_channel, ues, ALTITUDE, use_cache=False)
+    tiles = iter_ground_truth_tiles(box_channel, ues, ALTITUDE, tile_rows=9)
+    rebuilt = _reassemble(tiles, len(ues), box_channel.terrain.grid.shape)
+    assert np.array_equal(rebuilt, stack)
+
+
+def test_tiles_on_coarse_grid(box_channel, ues):
+    grid = box_channel.terrain.grid.coarsen(4)
+    stack = box_channel.snr_maps(ues, ALTITUDE, grid, use_cache=False)
+    tiles = box_channel.iter_snr_map_tiles(ues, ALTITUDE, grid, tile_rows=5)
+    rebuilt = _reassemble(tiles, len(ues), grid.shape)
+    assert np.array_equal(rebuilt, stack)
+
+
+def test_empty_population_yields_no_tiles(box_channel):
+    assert list(box_channel.iter_snr_map_tiles([], ALTITUDE)) == []
+
+
+def test_tile_rows_validation(box_channel, ues):
+    with pytest.raises(ValueError, match="tile_rows"):
+        list(box_channel.iter_snr_map_tiles(ues, ALTITUDE, tile_rows=0))
+    with pytest.raises(ValueError, match="ue_chunk"):
+        list(box_channel.iter_snr_map_tiles(ues, ALTITUDE, ue_chunk=0))
+
+
+# -- streamed folds vs materialized aggregations --------------------------------
+
+
+@pytest.mark.parametrize("tile_rows,ue_chunk", [(7, None), (13, 1), (50, 2)])
+def test_streamed_min_map_and_placement(box_channel, ues, tile_rows, ue_chunk):
+    grid = box_channel.terrain.grid
+    stack = box_channel.snr_maps(ues, ALTITUDE, use_cache=False)
+
+    def tiles():
+        return box_channel.iter_snr_map_tiles(
+            ues, ALTITUDE, tile_rows=tile_rows, ue_chunk=ue_chunk
+        )
+
+    mm = streamed_min_snr_map(tiles(), grid.shape)
+    assert np.array_equal(mm, min_snr_map(stack))
+
+    placed = streamed_max_min_placement(grid, tiles(), ALTITUDE)
+    reference = max_min_placement(grid, list(stack), ALTITUDE)
+    assert placed.cell == reference.cell
+    assert placed.min_snr_db == reference.min_snr_db
+    assert np.array_equal(
+        placed.position.as_array(), reference.position.as_array()
+    )
+
+
+def test_streamed_coverage_counts(box_channel, ues):
+    grid = box_channel.terrain.grid
+    stack = box_channel.snr_maps(ues, ALTITUDE, use_cache=False)
+    threshold = float(np.median(stack))
+    counts = streamed_coverage_counts(
+        box_channel.iter_snr_map_tiles(ues, ALTITUDE, tile_rows=13, ue_chunk=2),
+        grid.shape,
+        threshold,
+    )
+    assert np.array_equal(counts, (stack >= threshold).sum(axis=0))
+
+
+def test_streamed_aggregate_rem_exact_with_full_ue_tiles(box_channel, ues):
+    """Full-UE tiles keep the float sum's association: bit-identical."""
+    grid = box_channel.terrain.grid
+    stack = box_channel.snr_maps(ues, ALTITUDE, use_cache=False)
+    agg = streamed_aggregate_rem(
+        box_channel.iter_snr_map_tiles(
+            ues, ALTITUDE, tile_rows=13, ue_chunk=len(ues)
+        ),
+        grid.shape,
+    )
+    assert np.array_equal(agg, aggregate_rem(stack))
+
+
+def test_streamed_folds_reject_empty():
+    with pytest.raises(ValueError, match="at least one tile"):
+        streamed_min_snr_map(iter([]), (4, 4))
+    with pytest.raises(ValueError, match="at least one tile"):
+        streamed_aggregate_rem(iter([]), (4, 4))
+
+
+def test_streamed_min_map_nan_poisons_cell():
+    block = np.ones((2, 2, 3))
+    block[1, 0, 1] = np.nan
+    out = streamed_min_snr_map([(slice(0, 2), slice(0, 2), block)], (2, 3))
+    assert np.isnan(out[0, 1])
+    assert out[1, 2] == 1.0
+
+
+# -- row-band interpolation -----------------------------------------------------
+
+
+def _sparse_map(grid: GridSpec, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    values = np.full(grid.shape, np.nan)
+    ny, nx = grid.shape
+    n_meas = (ny * nx) // 5
+    iy = rng.integers(0, ny, n_meas)
+    ix = rng.integers(0, nx, n_meas)
+    values[iy, ix] = rng.normal(10.0, 4.0, n_meas)
+    return values
+
+
+@pytest.mark.parametrize("rows", [slice(0, 7), slice(7, 20), slice(40, 50)])
+def test_idw_rows_match_full_interpolation(small_grid, rows):
+    values = _sparse_map(small_grid)
+    full = idw_interpolate(small_grid, values)
+    band = idw_interpolate_rows(small_grid, values, rows)
+    assert np.array_equal(band, full[rows])
+
+
+def test_idw_rows_with_max_distance_and_fallback(small_grid):
+    values = _sparse_map(small_grid, seed=9)
+    fallback = np.full(small_grid.shape, -3.25)
+    kw = dict(max_distance_m=6.0, fallback=fallback)
+    full = idw_interpolate(small_grid, values, **kw)
+    rows = slice(3, 31)
+    band = idw_interpolate_rows(small_grid, values, rows, **kw)
+    assert np.array_equal(band, full[rows])
+
+
+def test_interpolate_tile_uses_idw_fast_path(small_grid):
+    values = _sparse_map(small_grid, seed=5)
+    interp = IDWInterpolator()
+    rows = slice(11, 29)
+    band = interpolate_tile(interp, small_grid, values, rows)
+    assert np.array_equal(band, interp.interpolate(small_grid, values)[rows])
+
+
+def test_interpolate_tile_generic_fallback(small_grid):
+    """Interpolators without a tile method get the slice-of-full path."""
+
+    class Nearest:
+        def interpolate(self, grid, values, measured_mask=None, fallback=None):
+            return np.nan_to_num(values, nan=-1.0)
+
+    values = _sparse_map(small_grid, seed=11)
+    rows = slice(2, 9)
+    band = interpolate_tile(Nearest(), small_grid, values, rows)
+    assert np.array_equal(band, np.nan_to_num(values, nan=-1.0)[rows])
