@@ -413,6 +413,77 @@ def bench_city(ues_list, n_tti: int, shard_ues=None) -> dict:
     }
 
 
+def bench_fleet(n_ues: int, repeats: int) -> dict:
+    """Batched fleet SINR stack vs the scalar per-(UAV, UE) loop.
+
+    Four co-channel sky cells over the campus with ``n_ues`` UEs at
+    reuse factor 2, shadowing off so the one-Tx-many-Rx ray batch
+    engages.  The batched path (one ray batch per UAV via
+    :func:`fleet_sinr_db_stack`) must be bit-identical to the scalar
+    :func:`sinr_db` reference — one call per UE, one ray per
+    (UAV, UE) pair — before any timing.
+    """
+    from repro.channel.interference import (  # noqa: E402
+        fleet_rx_power_dbm,
+        fleet_sinr_db_stack,
+        reuse_carriers,
+        sinr_db,
+    )
+
+    scenario = Scenario.create(
+        "campus", n_ues=n_ues, seed=0, channel_kwargs={"shadowing_sigma_db": 0.0}
+    )
+    grid = scenario.grid
+    fracs = (0.25, 0.75)
+    uavs = [
+        np.array(
+            [
+                grid.origin_x + fx * grid.width,
+                grid.origin_y + fy * grid.height,
+                ALTITUDE_M,
+            ]
+        )
+        for fx in fracs
+        for fy in fracs
+    ]
+    ues = scenario.ue_positions()
+    carriers = reuse_carriers(len(uavs), 2)
+    serving = np.argmax(fleet_rx_power_dbm(scenario.channel, uavs, ues), axis=0)
+
+    def batched():
+        return fleet_sinr_db_stack(
+            scenario.channel, uavs, ues, serving, carriers=carriers
+        )
+
+    def reference():
+        return np.array(
+            [
+                sinr_db(scenario.channel, uavs, ue, int(serving[k]), carriers=carriers)
+                for k, ue in enumerate(ues)
+            ]
+        )
+
+    s_batched = batched()
+    s_reference = reference()
+    identical = bool(np.array_equal(s_batched, s_reference))
+    t_ref = _time_min(reference, repeats)
+    perf.reset()
+    t_batched = _time_min(batched, repeats)
+    counters = perf.counters()
+    return {
+        "terrain": "campus",
+        "n_ues": n_ues,
+        "n_uavs": len(uavs),
+        "reuse_factor": 2,
+        "bit_identical": identical,
+        "reference_s": t_ref,
+        "batched_s": t_batched,
+        "speedup": t_ref / t_batched if t_batched > 0 else float("inf"),
+        "mean_sinr_db": float(s_batched.mean()),
+        "perf_counters": counters,
+    }
+
+
 def bench_headline() -> dict:
     """The headline figure in quick mode, timed with perf counters.
 
@@ -483,6 +554,26 @@ def main(argv=None) -> int:
         "CI floor; 0 = report only)",
     )
     parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also run the fleet SINR-stack bench and gate on "
+        "--min-fleet-speedup",
+    )
+    parser.add_argument(
+        "--fleet-ues",
+        type=int,
+        default=200,
+        help="UEs in the fleet SINR bench (4 co-channel cells)",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=3.0,
+        help="with --fleet, fail if the batched SINR stack is not at "
+        "least this many times faster than the scalar per-(UAV, UE) "
+        "loop (generous CI floor; 0 = report only)",
+    )
+    parser.add_argument(
         "--city",
         action="store_true",
         help="also run the city-scale scaling curve and gate peak memory "
@@ -550,6 +641,19 @@ def main(argv=None) -> int:
                 f"identical={row['bit_identical']}, "
                 f"{row['served_mbps']:.1f} Mbps served)"
             )
+
+    fleet = None
+    if args.fleet:
+        fleet = bench_fleet(args.fleet_ues, args.repeats)
+        payload["fleet"] = fleet
+        print(
+            f"[fleet] campus/{fleet['n_uavs']} UAVs x {fleet['n_ues']} UEs "
+            f"(reuse {fleet['reuse_factor']}): "
+            f"scalar {fleet['reference_s'] * 1e3:.1f} ms -> "
+            f"stack {fleet['batched_s'] * 1e3:.1f} ms "
+            f"({fleet['speedup']:.2f}x, identical={fleet['bit_identical']}, "
+            f"mean SINR {fleet['mean_sinr_db']:.1f} dB)"
+        )
 
     city = None
     if args.city:
@@ -625,6 +729,21 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: full-buffer slab speedup {slab:.2f}x "
                 f"< required {args.min_mac_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if fleet is not None:
+        if not fleet["bit_identical"]:
+            print(
+                "FAIL: batched fleet SINR stack differs from the scalar "
+                "per-(UAV, UE) reference",
+                file=sys.stderr,
+            )
+            return 1
+        if args.min_fleet_speedup > 0 and fleet["speedup"] < args.min_fleet_speedup:
+            print(
+                f"FAIL: fleet SINR speedup {fleet['speedup']:.2f}x "
+                f"< required {args.min_fleet_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

@@ -2,11 +2,29 @@
 
 A single SkyRAN UAV owns its carrier; a fleet sharing one LTE channel
 does not.  This module computes per-UE SINR given every UAV's
-position: the serving cell's signal over (noise + the sum of the other
-cells' received powers, scaled by their activity).  The fleet
-coordinator uses it to score sectorizations honestly — two UAVs
-parked next to each other *hurt* each other, which pure-SNR scoring
-cannot see.
+position: the serving cell's signal over (noise + the sum of the
+co-channel cells' received powers, scaled by their activity).  The
+fleet controller uses it to score associations and sectorizations
+honestly — two UAVs parked next to each other *hurt* each other,
+which pure-SNR scoring cannot see.
+
+Two implementations exist side by side, per the repo-wide contract:
+
+* :func:`sinr_db` / :func:`fleet_sinr_db_reference` — scalar Python
+  loops, one path-loss query per (UAV, UE) pair.  Slow, obviously
+  correct, kept forever as the test reference.
+* :func:`fleet_rx_power_dbm` / :func:`fleet_sinr_db_stack` — one
+  vectorized ray batch per UAV via
+  :meth:`ChannelModel.path_loss_to_many`, interference accumulated
+  over UAV index in ascending order so every UE's arithmetic matches
+  the scalar reference term for term.  **Bit-identical** to the
+  references, and what the fleet hot paths call.
+
+Frequency reuse: each cell carries an integer carrier index
+(:func:`reuse_carriers` maps cell ``i`` to ``i % reuse_factor``); only
+cells sharing the serving cell's carrier contribute interference.
+``reuse_factor=1`` is the worst case (all co-channel);
+``reuse_factor >= n_cells`` recovers pure-SNR operation.
 """
 
 from __future__ import annotations
@@ -15,7 +33,43 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.channel.linkbudget import LinkBudget
 from repro.channel.model import ChannelModel
+
+
+def reuse_carriers(n_cells: int, reuse_factor: int) -> np.ndarray:
+    """Carrier index per cell under a simple modular reuse plan.
+
+    Cell ``i`` transmits on carrier ``i % reuse_factor``.  With
+    ``reuse_factor=1`` every cell shares one carrier (full
+    interference); with ``reuse_factor >= n_cells`` every cell gets a
+    private carrier and SINR degenerates to SNR.
+    """
+    if n_cells < 1:
+        raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+    if reuse_factor < 1:
+        raise ValueError(f"reuse_factor must be >= 1, got {reuse_factor}")
+    return np.arange(n_cells) % reuse_factor
+
+
+def _activity(n: int, activity: Optional[Sequence[float]]) -> np.ndarray:
+    if activity is None:
+        return np.ones(n)
+    act = np.asarray(list(activity), dtype=float)
+    if act.shape != (n,):
+        raise ValueError(f"activity must have length {n}")
+    if np.any((act < 0) | (act > 1)):
+        raise ValueError("activity factors must be in [0, 1]")
+    return act
+
+
+def _carriers(n: int, carriers: Optional[Sequence[int]]) -> np.ndarray:
+    if carriers is None:
+        return np.zeros(n, dtype=int)
+    carr = np.asarray(list(carriers), dtype=int)
+    if carr.shape != (n,):
+        raise ValueError(f"carriers must have length {n}")
+    return carr
 
 
 def sinr_db(
@@ -24,6 +78,7 @@ def sinr_db(
     ue_xyz: np.ndarray,
     serving_index: int,
     activity: Optional[Sequence[float]] = None,
+    carriers: Optional[Sequence[int]] = None,
 ) -> float:
     """SINR of a UE served by one UAV amid the rest of the fleet.
 
@@ -41,6 +96,9 @@ def sinr_db(
         Per-UAV downlink activity factors in [0, 1] (fraction of PRBs
         loaded).  Defaults to fully loaded interferers — the
         conservative, busy-hour assumption.
+    carriers:
+        Per-UAV carrier indices; only UAVs sharing the serving cell's
+        carrier interfere.  Defaults to all co-channel.
 
     Returns
     -------
@@ -49,14 +107,8 @@ def sinr_db(
     n = len(uav_positions)
     if not 0 <= serving_index < n:
         raise ValueError(f"serving_index {serving_index} out of range for {n} UAVs")
-    if activity is None:
-        act = np.ones(n)
-    else:
-        act = np.asarray(list(activity), dtype=float)
-        if act.shape != (n,):
-            raise ValueError(f"activity must have length {n}")
-        if np.any((act < 0) | (act > 1)):
-            raise ValueError("activity factors must be in [0, 1]")
+    act = _activity(n, activity)
+    carr = _carriers(n, carriers)
 
     link = channel.link
     rx_dbm = np.array(
@@ -65,14 +117,93 @@ def sinr_db(
             for p in uav_positions
         ]
     )
-    signal_mw = 10.0 ** (rx_dbm[serving_index] / 10.0)
+    # dBm -> mW via the array kernel: numpy's scalar ``**`` can differ
+    # from the array ufunc by one ulp, and the batched stack path must
+    # stay bit-identical to this reference.
+    rx_mw = 10.0 ** (rx_dbm / 10.0)
+    signal_mw = rx_mw[serving_index]
     noise_mw = 10.0 ** (link.noise_floor_dbm / 10.0)
     interf_mw = 0.0
     for j in range(n):
-        if j == serving_index:
+        if j == serving_index or carr[j] != carr[serving_index]:
             continue
-        interf_mw += act[j] * 10.0 ** (rx_dbm[j] / 10.0)
+        interf_mw += act[j] * rx_mw[j]
     return float(10.0 * np.log10(signal_mw / (noise_mw + interf_mw)))
+
+
+def fleet_rx_power_dbm(
+    channel: ChannelModel,
+    uav_positions: Sequence[np.ndarray],
+    ue_positions: Sequence,
+) -> np.ndarray:
+    """Received power stack, ``(n_uav, n_ue)`` in dBm.
+
+    One vectorized ray batch per UAV.  Row ``j`` is bit-identical to
+    querying :meth:`ChannelModel.path_loss_db` per UE (the
+    :meth:`path_loss_to_many` contract), so anything derived from this
+    stack with matching arithmetic matches the scalar references.
+    """
+    ues = np.atleast_2d(np.asarray(ue_positions, dtype=float))
+    n_uav = len(uav_positions)
+    out = np.empty((n_uav, ues.shape[0]), dtype=float)
+    for j, pos in enumerate(uav_positions):
+        out[j] = channel.link.rx_power_dbm(channel.path_loss_to_many(pos, ues))
+    return out
+
+
+def sinr_db_from_rx_stack(
+    link: LinkBudget,
+    rx_dbm: np.ndarray,
+    serving: np.ndarray,
+    activity: Optional[Sequence[float]] = None,
+    carriers: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-UE SINR (dB) from a precomputed ``(n_uav, n_ue)`` rx stack.
+
+    ``serving[k]`` is the serving UAV index of UE ``k``.  Interference
+    is accumulated over UAV index ``j`` in ascending order — the same
+    term order as the scalar :func:`sinr_db` loop — with excluded
+    terms (serving cell, off-carrier cells) contributed as an exact
+    ``0.0``, so every UE's result is bit-identical to the reference.
+    """
+    rx_dbm = np.asarray(rx_dbm, dtype=float)
+    n_uav, n_ue = rx_dbm.shape
+    serving = np.asarray(serving, dtype=int)
+    if serving.shape != (n_ue,):
+        raise ValueError(f"serving must have shape ({n_ue},), got {serving.shape}")
+    if n_ue and (serving.min() < 0 or serving.max() >= n_uav):
+        raise ValueError("serving indices out of range")
+    act = _activity(n_uav, activity)
+    carr = _carriers(n_uav, carriers)
+
+    rx_mw = 10.0 ** (rx_dbm / 10.0)
+    signal_mw = rx_mw[serving, np.arange(n_ue)]
+    noise_mw = 10.0 ** (link.noise_floor_dbm / 10.0)
+    serving_carrier = carr[serving]
+    interf_mw = np.zeros(n_ue, dtype=float)
+    for j in range(n_uav):
+        excluded = (serving == j) | (serving_carrier != carr[j])
+        interf_mw += np.where(excluded, 0.0, act[j] * rx_mw[j])
+    return 10.0 * np.log10(signal_mw / (noise_mw + interf_mw))
+
+
+def fleet_sinr_db_stack(
+    channel: ChannelModel,
+    uav_positions: Sequence[np.ndarray],
+    ue_positions: Sequence,
+    serving: Sequence[int],
+    activity: Optional[Sequence[float]] = None,
+    carriers: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-UE SINR (dB), batched — bit-identical to the scalar loop.
+
+    The fleet hot path: one ray batch per UAV instead of one per
+    (UAV, UE) pair.
+    """
+    rx_dbm = fleet_rx_power_dbm(channel, uav_positions, ue_positions)
+    return sinr_db_from_rx_stack(
+        channel.link, rx_dbm, np.asarray(serving, dtype=int), activity, carriers
+    )
 
 
 def fleet_sinr_db(
@@ -81,12 +212,57 @@ def fleet_sinr_db(
     ue_positions: Dict[int, np.ndarray],
     serving: Dict[int, int],
     activity: Optional[Sequence[float]] = None,
+    carriers: Optional[Sequence[int]] = None,
 ) -> Dict[int, float]:
-    """Per-UE SINR for a whole fleet assignment.
+    """Per-UE SINR for a whole fleet assignment (dict API).
 
     ``serving[ue_id]`` is the index of the UAV that serves the UE.
+    Routed through the batched stack; bit-identical to
+    :func:`fleet_sinr_db_reference`.
     """
+    ue_ids = list(ue_positions.keys())
+    if not ue_ids:
+        return {}
+    xyz = np.array([ue_positions[u] for u in ue_ids], dtype=float)
+    srv = np.array([serving[u] for u in ue_ids], dtype=int)
+    out = fleet_sinr_db_stack(channel, uav_positions, xyz, srv, activity, carriers)
+    return {u: float(s) for u, s in zip(ue_ids, out)}
+
+
+def fleet_sinr_db_reference(
+    channel: ChannelModel,
+    uav_positions: Sequence[np.ndarray],
+    ue_positions: Dict[int, np.ndarray],
+    serving: Dict[int, int],
+    activity: Optional[Sequence[float]] = None,
+    carriers: Optional[Sequence[int]] = None,
+) -> Dict[int, float]:
+    """Loop reference for :func:`fleet_sinr_db` — kept for tests."""
     return {
-        ue_id: sinr_db(channel, uav_positions, ue_xyz, serving[ue_id], activity)
+        ue_id: sinr_db(channel, uav_positions, ue_xyz, serving[ue_id], activity, carriers)
         for ue_id, ue_xyz in ue_positions.items()
     }
+
+
+def interference_penalty_db(
+    channel: ChannelModel,
+    ue_positions: Sequence,
+    interferer_positions: Sequence,
+    activity: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Per-UE dB penalty converting an SNR map into an SINR map.
+
+    ``SINR = SNR - penalty`` where
+    ``penalty = 10·log10((noise + interference) / noise)`` — the rise
+    over thermal from the fixed interferers.  Equal to the exact SINR
+    up to one floating-point subtraction (``(rx - noise) - penalty``
+    vs. ``rx - 10·log10(noise + interf)``), which is why the streamed
+    placement fold uses it but bit-exactness claims stay at the
+    channel layer.  Empty ``interferer_positions`` → exact zeros.
+    """
+    ues = np.atleast_2d(np.asarray(ue_positions, dtype=float))
+    if len(interferer_positions) == 0:
+        return np.zeros(ues.shape[0], dtype=float)
+    noise_mw = 10.0 ** (channel.link.noise_floor_dbm / 10.0)
+    interf_mw = channel.interference_mw(ues, interferer_positions, activity)
+    return 10.0 * np.log10((noise_mw + interf_mw) / noise_mw)

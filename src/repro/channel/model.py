@@ -448,13 +448,14 @@ class ChannelModel:
         ):
             yield ue_sl, row_sl, self.link.snr_db(block)
 
-    def snr_to_many(self, uav_xyz: np.ndarray, ue_positions: Sequence) -> np.ndarray:
-        """Mean SNR (dB) from one UAV position to many UEs.
+    def path_loss_to_many(
+        self, uav_xyz: np.ndarray, ue_positions: Sequence
+    ) -> np.ndarray:
+        """Mean path loss (dB) from one UAV position to many UEs.
 
-        The transpose of :meth:`snr_db` (one UE, many UAV positions),
-        and the shape the city-scale MAC needs: the serving SNR of a
-        whole population at the chosen placement.  Bit-identical to
-        calling :meth:`snr_db` once per UE.  With per-UE shadowing
+        The one-Tx-many-Rx kernel under :meth:`snr_to_many` and the
+        fleet SINR stacks: bit-identical to calling
+        :meth:`path_loss_db` once per UE.  With per-UE shadowing
         enabled each UE's frozen field must be sampled separately, so
         the method degrades to exactly that per-UE loop; with it
         disabled (the city configuration) the whole population runs
@@ -465,7 +466,9 @@ class ChannelModel:
         if ues.shape[0] == 0:
             return np.empty(0, dtype=float)
         if self.shadowing_sigma_db > 0:
-            return np.array([self.snr_db(uav, ue) for ue in ues], dtype=float)
+            return np.array(
+                [float(self.path_loss_db(uav, ue)) for ue in ues], dtype=float
+            )
         obstructed = obstructed_lengths(
             self.terrain, uav[None, :], ues, self.ray_step_m
         )
@@ -474,7 +477,137 @@ class ChannelModel:
         loss = loss + self._excess_db(obstructed)
         if self.common_sigma_db > 0:
             loss = loss + self._common_shadowing().at_many(uav[None, :2])
+        return loss
+
+    def snr_to_many(self, uav_xyz: np.ndarray, ue_positions: Sequence) -> np.ndarray:
+        """Mean SNR (dB) from one UAV position to many UEs.
+
+        The transpose of :meth:`snr_db` (one UE, many UAV positions),
+        and the shape the city-scale MAC needs: the serving SNR of a
+        whole population at the chosen placement.  Bit-identical to
+        calling :meth:`snr_db` once per UE (see
+        :meth:`path_loss_to_many` for the shadowing caveat).
+        """
+        loss = self.path_loss_to_many(uav_xyz, ue_positions)
+        if loss.shape[0] == 0:
+            return loss
         return self.link.snr_db(loss)
+
+    # -- fleet SINR oracle ---------------------------------------------------------
+
+    def interference_mw(
+        self,
+        ue_positions: Sequence,
+        interferer_positions: Sequence,
+        activity: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Aggregate co-channel downlink interference per UE, in mW.
+
+        Sums the received power from every interfering transmitter at
+        every UE, scaled by per-interferer activity factors (fraction
+        of PRBs loaded; defaults to fully loaded — the conservative
+        busy-hour assumption).  The accumulation visits interferers in
+        ascending index order, matching the scalar reference in
+        :mod:`repro.channel.interference` term for term, so the batched
+        and loop paths agree bit for bit.
+        """
+        ues = np.atleast_2d(np.asarray(ue_positions, dtype=float))
+        interferers = [
+            np.asarray(p, dtype=float).reshape(3) for p in interferer_positions
+        ]
+        if activity is None:
+            act = np.ones(len(interferers))
+        else:
+            act = np.asarray(list(activity), dtype=float)
+            if act.shape != (len(interferers),):
+                raise ValueError(
+                    f"activity must have length {len(interferers)}, got {act.shape}"
+                )
+            if np.any((act < 0) | (act > 1)):
+                raise ValueError("activity factors must be in [0, 1]")
+        out = np.zeros(ues.shape[0], dtype=float)
+        for j, pos in enumerate(interferers):
+            rx_dbm = self.link.rx_power_dbm(self.path_loss_to_many(pos, ues))
+            out += act[j] * 10.0 ** (rx_dbm / 10.0)
+        return out
+
+    def sinr_maps(
+        self,
+        ue_positions: Sequence,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        *,
+        interferer_positions: Sequence = (),
+        activity: Optional[Sequence[float]] = None,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Per-UE SINR maps under fixed co-channel interferers, stacked.
+
+        For each grid cell the *serving* transmitter is hypothetically
+        placed at that cell (at ``altitude``); the ``interferer_positions``
+        are fixed 3D points (the rest of the fleet), so each UE's
+        interference-plus-noise denominator is a per-UE constant over
+        the candidate axis.  With no interferers this is **exactly**
+        :meth:`snr_maps` (same arithmetic, no round trip through mW),
+        which is what makes the 1-UAV fleet degenerate cleanly.
+        """
+        pl = self.path_loss_maps(
+            ue_positions, altitude, grid, workers=workers, use_cache=use_cache
+        )
+        if len(interferer_positions) == 0:
+            return self.link.snr_db(pl)
+        denom_db = self._sinr_denominator_db(
+            ue_positions, interferer_positions, activity
+        )
+        return self.link.rx_power_dbm(pl) - denom_db[:, None, None]
+
+    def iter_sinr_map_tiles(
+        self,
+        ue_positions: Sequence,
+        altitude: float,
+        grid: Optional[GridSpec] = None,
+        *,
+        interferer_positions: Sequence = (),
+        activity: Optional[Sequence[float]] = None,
+        tile_rows: int = 64,
+        ue_chunk: Optional[int] = None,
+    ):
+        """Stream SINR maps as ``(ue_slice, row_slice, block)`` tiles.
+
+        The streamed counterpart of :meth:`sinr_maps`, bit-identical to
+        it for every tiling: path-loss tiles carry exactly the
+        materialized values (the PR 6 contract), and the SINR
+        conversion — received power minus a per-UE
+        interference-plus-noise constant — is elementwise, so
+        restricting the computation to a band of rows changes nothing
+        per cell.  With no interferers it degrades to exactly
+        :meth:`iter_snr_map_tiles`.
+        """
+        if len(interferer_positions) == 0:
+            yield from self.iter_snr_map_tiles(
+                ue_positions, altitude, grid, tile_rows=tile_rows, ue_chunk=ue_chunk
+            )
+            return
+        denom_db = self._sinr_denominator_db(
+            ue_positions, interferer_positions, activity
+        )
+        for ue_sl, row_sl, block in self.iter_path_loss_map_tiles(
+            ue_positions, altitude, grid, tile_rows=tile_rows, ue_chunk=ue_chunk
+        ):
+            sinr = self.link.rx_power_dbm(block) - denom_db[ue_sl, None, None]
+            yield ue_sl, row_sl, sinr
+
+    def _sinr_denominator_db(
+        self,
+        ue_positions: Sequence,
+        interferer_positions: Sequence,
+        activity: Optional[Sequence[float]],
+    ) -> np.ndarray:
+        """Per-UE ``10·log10(noise + interference)`` in dBm."""
+        noise_mw = 10.0 ** (self.link.noise_floor_dbm / 10.0)
+        interf = self.interference_mw(ue_positions, interferer_positions, activity)
+        return 10.0 * np.log10(noise_mw + interf)
 
     def _compute_path_loss_maps(
         self, ues: Sequence[np.ndarray], altitude: float, g: GridSpec

@@ -24,6 +24,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.channel.interference import (
+    fleet_rx_power_dbm,
+    interference_penalty_db,
+    sinr_db_from_rx_stack,
+)
 from repro.channel.model import ChannelModel
 from repro.city.mac import CityMACResult, run_city_mac
 from repro.city.population import UEPopulation
@@ -32,7 +37,10 @@ from repro.geo.grid import GridSpec
 from repro.lte.linkadapt import OLLABank
 from repro.lte.throughput import PRB_PER_10MHZ, _THRESHOLDS, cqi_from_snr, throughput_mbps
 from repro.perf import perf
-from repro.rem.streaming import streamed_max_min_placement
+from repro.rem.streaming import (
+    streamed_interference_max_min_placement,
+    streamed_max_min_placement,
+)
 from repro.terrain.generators import make_terrain
 from repro.traffic.generators import BYTES_PER_TTI_PER_MBPS
 
@@ -98,20 +106,41 @@ class CityScenario:
 
     # -- placement ---------------------------------------------------------------
 
-    def place(self, *, tile_rows: int = 16) -> PlacementResult:
+    def place(
+        self,
+        *,
+        tile_rows: int = 16,
+        interferer_positions=(),
+        activity=None,
+    ) -> PlacementResult:
         """Max–min placement over the population's unique REM cells.
 
         Streams SNR-map tiles for one representative UE per occupied
         REM key cell and folds them into the placement surface — peak
         memory O(unique cells × band), never O(population × grid).
+
+        With ``interferer_positions`` (other fleet UAVs, fixed for the
+        fold) each representative's rows are debited by its
+        interference penalty before the max–min fold, so the argmax is
+        SINR-aware; an empty list takes the exact SNR path.
         """
+        interferers = [np.asarray(p, dtype=float) for p in interferer_positions]
         _keys, reps, _inverse = self.population.unique_rem_cells()
         perf.count("city.placement_rem_cells", len(reps))
         with perf.span("city.place"):
             tiles = self.channel.iter_snr_map_tiles(
                 list(reps), self.altitude_m, self.eval_grid, tile_rows=tile_rows
             )
-            return streamed_max_min_placement(self.eval_grid, tiles, self.altitude_m)
+            if not interferers:
+                return streamed_max_min_placement(
+                    self.eval_grid, tiles, self.altitude_m
+                )
+            penalty = interference_penalty_db(
+                self.channel, list(reps), interferers, activity
+            )
+            return streamed_interference_max_min_placement(
+                self.eval_grid, tiles, self.altitude_m, penalty
+            )
 
     # -- link adaptation ---------------------------------------------------------
 
@@ -119,6 +148,46 @@ class CityScenario:
         """Mean serving SNR of every UE from the given UAV position."""
         with perf.span("city.serving_snr"):
             return self.channel.snr_to_many(uav_xyz, self.population.xyz)
+
+    def fleet_sinr_db(
+        self,
+        uav_positions,
+        serving: np.ndarray,
+        *,
+        activity=None,
+        carriers=None,
+    ) -> np.ndarray:
+        """Per-UE SINR under a fleet of co-channel sky cells.
+
+        Ray-traces the (n_uav, n_rep) rx-power stack only at one
+        representative per occupied REM key cell, broadcasts it onto
+        the full population through the inverse index, and runs the
+        exact batched SINR kernel with the per-UE ``serving`` array.
+        Links are evaluated at REM-key resolution — the same
+        approximation the placement surface already makes — so at a
+        fine key pitch (one UE per cell) this is bit-identical to
+        tracing every UE.
+        """
+        uavs = [np.asarray(p, dtype=float) for p in uav_positions]
+        serving = np.asarray(serving, dtype=np.int64)
+        if serving.shape != (self.population.n_ues,):
+            raise ValueError(
+                f"serving must have one entry per UE "
+                f"({self.population.n_ues}), got shape {serving.shape}"
+            )
+        if len(uavs) and (serving.min() < 0 or serving.max() >= len(uavs)):
+            raise ValueError("serving indices out of range for the fleet")
+        _keys, reps, inverse = self.population.unique_rem_cells()
+        perf.count("city.fleet_rem_cells", len(reps))
+        with perf.span("city.fleet_sinr"):
+            rx = fleet_rx_power_dbm(self.channel, uavs, list(reps))
+            return sinr_db_from_rx_stack(
+                self.channel.link,
+                rx[:, inverse],
+                serving,
+                activity=activity,
+                carriers=carriers,
+            )
 
     def olla_round(
         self, snr_db: np.ndarray, *, fading_margin_db: float = 0.0

@@ -16,14 +16,26 @@ from repro.core.placement import (
 from repro.core.rem_store import REMStore
 from repro.core.epoch import EpochTrigger
 from repro.core.controller import EpochResult, SkyRANController
-from repro.core.multi_uav import (
+from repro.core.association import (
+    AssociationPolicy,
+    available_associations,
+    make_association,
+)
+from repro.core.fleet import (
+    FleetController,
     FleetEpochResult,
-    MultiUAVCoordinator,
+    FleetEvaluation,
     SectorAssignment,
 )
+from repro.core.multi_uav import MultiUAVCoordinator
 
 __all__ = [
+    "AssociationPolicy",
+    "available_associations",
+    "make_association",
+    "FleetController",
     "FleetEpochResult",
+    "FleetEvaluation",
     "MultiUAVCoordinator",
     "SectorAssignment",
     "SkyRANConfig",

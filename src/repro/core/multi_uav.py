@@ -1,223 +1,45 @@
-"""Multi-UAV extension (paper Sections 7-8).
+"""Deprecated multi-UAV coordinator — use :mod:`repro.core.fleet`.
 
-The paper argues SkyRAN "directly supports multi-UAV deployments: the
-REM are cooperatively constructed and shared amongst multiple SkyRAN
-UAVs".  This module implements that extension at the level the paper
-sketches it:
-
-* the operating area is partitioned into per-UAV sectors (balanced
-  K-means over the UE estimates, so sectors track where users are);
-* every UAV contributes its measurements to one **shared**
-  :class:`~repro.core.rem_store.REMStore` and one shared
-  :class:`~repro.trajectory.information.TrajectoryHistory`, so a UE
-  wandering between sectors keeps its map and no UAV re-probes
-  airspace another has covered;
-* each UAV then runs the standard single-UAV epoch inside its sector.
-
-Inter-UAV interference and the backhaul mesh are out of scope, as in
-the paper (SkyHAUL/SkyCORE territory).
+The paper-sketch coordinator of PRs past (independent per-sector
+epochs, no interference) grew into the SINR-aware
+:class:`~repro.core.fleet.FleetController`: inter-UAV interference is
+now **in scope** — co-channel sky cells interfere, association and
+joint placement run over SINR, and handovers are counted.  This
+module keeps the old import path alive: :class:`MultiUAVCoordinator`
+is a thin shim over :class:`FleetController` (same kw-only API, same
+``__post_init__`` validation) that warns once on first construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
 
-import numpy as np
+from repro.core.fleet import (  # noqa: F401  (re-exported for old imports)
+    FleetController,
+    FleetEpochResult,
+    SectorAssignment,
+)
 
-from repro.channel.model import ChannelModel
-from repro.core.config import SkyRANConfig
-from repro.core.controller import EpochResult, SkyRANController
-from repro.geo.grid import GridSpec
-from repro.geo.kmeans import kmeans
-from repro.lte.enodeb import ENodeB
-from repro.lte.ue import UE
+_warned = False
 
 
-@dataclass(frozen=True)
-class SectorAssignment:
-    """Which UEs each UAV serves this epoch.
+@dataclass(kw_only=True)
+class MultiUAVCoordinator(FleetController):
+    """Deprecated alias for :class:`~repro.core.fleet.FleetController`.
 
-    Attributes
-    ----------
-    ue_ids_by_uav:
-        UE ids per UAV index.
-    centers:
-        Sector centers (the K-means centroids of the UE estimates).
+    Identical behaviour and (kw-only) signature; emits one
+    :class:`DeprecationWarning` per process on first construction.
     """
-
-    ue_ids_by_uav: Dict[int, List[int]]
-    centers: np.ndarray
-
-
-@dataclass(frozen=True)
-class FleetEpochResult:
-    """Per-UAV epoch results plus the fleet-level assignment."""
-
-    assignment: SectorAssignment
-    per_uav: Dict[int, EpochResult]
-
-    @property
-    def total_flight_distance_m(self) -> float:
-        return float(sum(r.flight_distance_m for r in self.per_uav.values()))
-
-
-@dataclass
-class MultiUAVCoordinator:
-    """Runs ``n_uavs`` SkyRAN controllers over one operating area.
-
-    All controllers share the radio world (``channel``), the REM store
-    and the trajectory history; each gets its own eNodeB serving the
-    UEs assigned to its sector.
-
-    Parameters
-    ----------
-    channel:
-        The shared radio environment.
-    ues:
-        All UEs in the operating area.
-    n_uavs:
-        Fleet size.
-    config:
-        Per-UAV SkyRAN configuration.
-    seed:
-        Base seed; UAV ``i`` runs with ``seed + i``.
-    """
-
-    channel: ChannelModel
-    ues: List[UE]
-    n_uavs: int = 2
-    config: SkyRANConfig = field(default_factory=SkyRANConfig)
-    seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.n_uavs < 1:
-            raise ValueError(f"need at least one UAV, got {self.n_uavs}")
-        if len(self.ues) < self.n_uavs:
-            raise ValueError(
-                f"{self.n_uavs} UAVs need at least as many UEs, got {len(self.ues)}"
+        global _warned
+        if not _warned:
+            _warned = True
+            warnings.warn(
+                "MultiUAVCoordinator is deprecated; use repro.core.fleet."
+                "FleetController (same API, kw-only)",
+                DeprecationWarning,
+                stacklevel=3,
             )
-        terrain_grid = self.channel.terrain.grid
-        factor = max(
-            1, int(round(self.config.rem_cell_size_m / terrain_grid.cell_size))
-        )
-        self.rem_grid: GridSpec = terrain_grid.coarsen(factor)
-        self.controllers: List[SkyRANController] = []
-        self._enodebs: List[ENodeB] = []
-        for i in range(self.n_uavs):
-            enodeb = ENodeB()
-            ctrl = SkyRANController(
-                self.channel,
-                enodeb,
-                self.config,
-                rem_grid=self.rem_grid,
-                seed=self.seed + i,
-            )
-            self.controllers.append(ctrl)
-            self._enodebs.append(enodeb)
-        # Cooperative state: one store, one history, shared by all.
-        shared_store = self.controllers[0].rem_store
-        shared_history = self.controllers[0].history
-        for ctrl in self.controllers[1:]:
-            ctrl.rem_store = shared_store
-            ctrl.history = shared_history
-        self.rem_store = shared_store
-
-    # -- sectorization -------------------------------------------------------------
-
-    def assign_sectors(self, positions: Optional[Dict[int, np.ndarray]] = None) -> SectorAssignment:
-        """Partition UEs into per-UAV sectors by K-means.
-
-        ``positions`` defaults to the true UE positions for the first
-        epoch (in a deployment, the previous epoch's estimates).
-        """
-        if positions is None:
-            positions = {ue.ue_id: ue.xyz for ue in self.ues}
-        ids = sorted(positions)
-        pts = np.array([positions[i][:2] for i in ids])
-        km = kmeans(pts, self.n_uavs, seed=self.seed)
-        by_uav: Dict[int, List[int]] = {i: [] for i in range(self.n_uavs)}
-        for ue_id, label in zip(ids, km.labels):
-            by_uav[int(label)].append(ue_id)
-        # A sector can come out empty when clusters collapse; steal the
-        # nearest UE from the largest sector so every UAV has work.
-        for uav_idx in range(self.n_uavs):
-            if not by_uav[uav_idx]:
-                donor = max(by_uav, key=lambda k: len(by_uav[k]))
-                if len(by_uav[donor]) > 1:
-                    center = km.centers[uav_idx]
-                    best = min(
-                        by_uav[donor],
-                        key=lambda uid: float(
-                            np.hypot(*(positions[uid][:2] - center))
-                        ),
-                    )
-                    by_uav[donor].remove(best)
-                    by_uav[uav_idx].append(best)
-        return SectorAssignment(ue_ids_by_uav=by_uav, centers=km.centers)
-
-    def _rehome_ues(self, assignment: SectorAssignment) -> None:
-        """Move every UE onto its sector's eNodeB (idempotent)."""
-        ue_by_id = {ue.ue_id: ue for ue in self.ues}
-        for enodeb in self._enodebs:
-            for ue in list(enodeb.ues):
-                enodeb.deregister_ue(ue.ue_id)
-        for uav_idx, ue_ids in assignment.ue_ids_by_uav.items():
-            for ue_id in ue_ids:
-                self._enodebs[uav_idx].register_ue(ue_by_id[ue_id])
-
-    # -- the fleet epoch -----------------------------------------------------------------
-
-    def run_epoch(self, budget_per_uav_m: Optional[float] = None) -> FleetEpochResult:
-        """One cooperative epoch: sectorize, then each UAV runs SkyRAN.
-
-        UAVs run sequentially in simulation; their flights are
-        independent in the model (no interference), so wall-clock
-        overhead per UAV is each controller's own flight time.
-        """
-        assignment = self.assign_sectors(self._last_estimates() or None)
-        self._rehome_ues(assignment)
-        results: Dict[int, EpochResult] = {}
-        for uav_idx, ctrl in enumerate(self.controllers):
-            if not assignment.ue_ids_by_uav[uav_idx]:
-                continue
-            results[uav_idx] = ctrl.run_epoch(budget_per_uav_m)
-        return FleetEpochResult(assignment=assignment, per_uav=results)
-
-    def _last_estimates(self) -> Dict[int, np.ndarray]:
-        merged: Dict[int, np.ndarray] = {}
-        for ctrl in self.controllers:
-            merged.update(ctrl._last_estimates)
-        return merged
-
-    # -- fleet-level KPIs --------------------------------------------------------------
-
-    def per_ue_snr_db(self) -> Dict[int, float]:
-        """Best-serving-UAV SNR per UE at the current fleet positions."""
-        out: Dict[int, float] = {}
-        for ue in self.ues:
-            best = -np.inf
-            for ctrl in self.controllers:
-                best = max(best, float(self.channel.snr_db(ctrl.uav.position, ue.xyz)))
-            out[ue.ue_id] = best
-        return out
-
-    def per_ue_sinr_db(
-        self, assignment: SectorAssignment, activity: Optional[Sequence[float]] = None
-    ) -> Dict[int, float]:
-        """Per-UE SINR under co-channel operation of the whole fleet.
-
-        Unlike :meth:`per_ue_snr_db`, this charges each link with the
-        other UAVs' downlink as interference — the honest fleet KPI
-        when all UAVs share one carrier.
-        """
-        from repro.channel.interference import fleet_sinr_db
-
-        positions = [ctrl.uav.position for ctrl in self.controllers]
-        serving = {
-            ue_id: uav_idx
-            for uav_idx, ue_ids in assignment.ue_ids_by_uav.items()
-            for ue_id in ue_ids
-        }
-        ue_positions = {ue.ue_id: ue.xyz for ue in self.ues if ue.ue_id in serving}
-        return fleet_sinr_db(self.channel, positions, ue_positions, serving, activity)
+        super().__post_init__()

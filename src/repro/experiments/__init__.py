@@ -36,6 +36,7 @@ from repro.experiments import (  # noqa: F401  (import side effect: registration
     fig29_budget_terrains,
     fig30_rem_budget_terrains,
     fig31_num_ues,
+    fleet_scale,
     headline,
     traffic_load,
 )

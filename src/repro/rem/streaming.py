@@ -117,6 +117,42 @@ def streamed_max_min_placement(
     )
 
 
+def streamed_interference_max_min_placement(
+    grid: GridSpec,
+    tiles: Iterable[Tile],
+    altitude: float,
+    penalty_db: np.ndarray,
+) -> PlacementResult:
+    """Interference-aware max–min placement folded from SNR tiles.
+
+    Joint fleet placement re-scores a cell's candidate SNR map by each
+    UE's rise-over-thermal from the *other* cells of the fleet
+    (:func:`repro.channel.interference.interference_penalty_db`):
+    ``SINR ≈ SNR - penalty``, a per-UE constant over the candidate
+    axis.  Because the penalty is constant per UE, subtracting it
+    inside the fold commutes with any tiling — the result is
+    bit-identical to materializing ``stack - penalty[:, None, None]``
+    and reducing, so the PR 6 tile machinery (O(grid) peak memory) is
+    reused unchanged.  ``penalty_db`` must align with the tile
+    source's UE axis; all-zero penalties recover
+    :func:`streamed_max_min_placement` exactly.
+    """
+    penalty_db = np.asarray(penalty_db, dtype=float)
+
+    def penalized() -> Iterable[Tile]:
+        for ue_sl, row_sl, block in tiles:
+            yield ue_sl, row_sl, block - penalty_db[ue_sl, None, None]
+
+    mm = streamed_min_snr_map(penalized(), grid.shape)
+    iy, ix = argmax_cell(mm)
+    x, y = grid.center_of(ix, iy)
+    return PlacementResult(
+        position=Point3D(x, y, float(altitude)),
+        min_snr_db=float(mm[iy, ix]),
+        cell=(iy, ix),
+    )
+
+
 def interpolate_tile(
     interpolator,
     grid: GridSpec,

@@ -75,6 +75,58 @@ class EpochRecord:
     dropped_bytes: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class FleetEpochRecord:
+    """Per-epoch outcome of a fleet runner pass.
+
+    The fleet analogue of :class:`EpochRecord`: KPIs are SINR-based
+    (co-channel cells interfere under the run's frequency plan) and
+    reported per cell as well as fleet-wide.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch index.
+    n_uavs / reuse_factor:
+        Fleet size and frequency plan of the run.
+    flight_distance_m / flight_time_s:
+        Overhead summed over every cell this epoch.
+    cumulative_distance_m / cumulative_time_s:
+        Overhead so far, across epochs.
+    aggregate_throughput_mbps / min_throughput_mbps:
+        Mean and worst per-UE full-cell throughput from the true-SINR
+        evaluation of the epoch's final deployment.
+    cells:
+        Cell indices that served UEs this epoch, ascending; the
+        ``per_cell_*`` and ``ue_counts`` tuples align with it.
+    per_cell_aggregate_mbps / per_cell_min_mbps:
+        Mean / worst per-UE throughput inside each cell.
+    ue_counts:
+        UEs served per cell.
+    handovers / attaches:
+        Sky-cell handovers and first-time attaches this epoch.
+    moved_ues:
+        UE ids relocated before this epoch.
+    """
+
+    epoch: int
+    n_uavs: int
+    reuse_factor: int
+    flight_distance_m: float
+    flight_time_s: float
+    cumulative_distance_m: float
+    cumulative_time_s: float
+    aggregate_throughput_mbps: float
+    min_throughput_mbps: float
+    cells: tuple
+    per_cell_aggregate_mbps: tuple
+    per_cell_min_mbps: tuple
+    ue_counts: tuple
+    handovers: int
+    attaches: int
+    moved_ues: tuple
+
+
 def _evaluate_epoch(
     scenario: Scenario, controller, result, rem_grid
 ) -> tuple:
@@ -174,6 +226,77 @@ def run_epochs(
     return records
 
 
+def _run_fleet_epochs(
+    scenario: Scenario,
+    fleet,
+    n_epochs: int,
+    budget_per_uav_m: Optional[float] = None,
+    move_fraction: float = 0.0,
+    seed: int = 0,
+    on_epoch: Optional[Callable[[FleetEpochRecord], None]] = None,
+) -> List[FleetEpochRecord]:
+    """Drive a :class:`~repro.core.fleet.FleetController` through epochs.
+
+    Mirrors :func:`run_epochs` exactly on the dynamics side — same
+    seeded mobility RNG, same walkability rule, same re-heighting — so
+    fleet and single-UAV runs see identical UE motion for a given
+    seed.
+    """
+    rng = np.random.default_rng(seed)
+    records: List[FleetEpochRecord] = []
+    cum_d = 0.0
+    cum_t = 0.0
+    terrain = scenario.terrain
+
+    def walkable(x: float, y: float) -> bool:
+        return terrain.height_at(x, y) < 2.0
+
+    for epoch in range(n_epochs):
+        moved: tuple = ()
+        if epoch > 0 and move_fraction > 0:
+            moved_ids = relocate_fraction(
+                scenario.ues, move_fraction, scenario.grid, rng, walkable
+            )
+            for ue in scenario.ues:
+                if ue.ue_id in moved_ids:
+                    ue.move_to(
+                        ue.position.x,
+                        ue.position.y,
+                        terrain.height_at(ue.position.x, ue.position.y) + 1.5,
+                    )
+            moved = tuple(moved_ids)
+        with perf.span("runner.epoch"):
+            result = fleet.run_epoch(budget_per_uav_m)
+        per_cell_agg = result.per_cell_aggregate_throughput_mbps
+        per_cell_min = result.per_cell_min_throughput_mbps
+        counts = result.ue_counts
+        cells = tuple(sorted(per_cell_agg))
+        cum_d += result.total_flight_distance_m
+        cum_t += result.total_flight_time_s
+        record = FleetEpochRecord(
+            epoch=epoch,
+            n_uavs=fleet.n_uavs,
+            reuse_factor=result.reuse_factor,
+            flight_distance_m=result.total_flight_distance_m,
+            flight_time_s=result.total_flight_time_s,
+            cumulative_distance_m=cum_d,
+            cumulative_time_s=cum_t,
+            aggregate_throughput_mbps=result.aggregate_throughput_mbps,
+            min_throughput_mbps=result.min_throughput_mbps,
+            cells=cells,
+            per_cell_aggregate_mbps=tuple(per_cell_agg[c] for c in cells),
+            per_cell_min_mbps=tuple(per_cell_min[c] for c in cells),
+            ue_counts=tuple(counts[c] for c in cells),
+            handovers=result.handovers,
+            attaches=result.attaches,
+            moved_ues=moved,
+        )
+        records.append(record)
+        if on_epoch is not None:
+            on_epoch(record)
+    return records
+
+
 def overhead_to_target(
     records: List[EpochRecord],
     target_relative: float = 0.9,
@@ -214,18 +337,24 @@ class RunResult:
     Attributes
     ----------
     scheme:
-        Which controller ran (``"skyran"``/``"uniform"``/``"centroid"``).
+        Which controller ran
+        (``"skyran"``/``"uniform"``/``"centroid"``/``"fleet"``).
     records:
-        One :class:`EpochRecord` per epoch, in order.
+        One :class:`EpochRecord` per epoch, in order (empty for fleet
+        runs, which fill ``fleet_records`` instead).
     fault_counters / fallback_counters:
         ``faults.*`` / ``fallback.*`` perf-counter deltas accumulated
         over this run (empty for fault-free runs).
+    fleet_records:
+        One :class:`FleetEpochRecord` per epoch for ``scheme="fleet"``
+        runs; empty otherwise.
     """
 
     scheme: str
     records: Tuple[EpochRecord, ...]
     fault_counters: Dict[str, int] = field(default_factory=dict)
     fallback_counters: Dict[str, int] = field(default_factory=dict)
+    fleet_records: Tuple[FleetEpochRecord, ...] = ()
 
     @property
     def final(self) -> EpochRecord:
@@ -253,6 +382,16 @@ class RunResult:
     def total_fallbacks(self) -> int:
         return sum(self.fallback_counters.values())
 
+    @property
+    def final_fleet(self) -> FleetEpochRecord:
+        """The last epoch's fleet record (fleet runs only)."""
+        return self.fleet_records[-1]
+
+    @property
+    def total_handovers(self) -> int:
+        """Sky-cell handovers across the whole run (0 for non-fleet)."""
+        return sum(r.handovers for r in self.fleet_records)
+
 
 def run_simulation(
     scenario: Scenario,
@@ -266,6 +405,10 @@ def run_simulation(
     seed: int = 0,
     altitude: Optional[float] = None,
     on_epoch: Optional[Callable[[EpochRecord], None]] = None,
+    n_uavs: int = 1,
+    association: str = "best_sinr",
+    reuse_factor: int = 1,
+    handover_hysteresis_db: float = 3.0,
 ) -> RunResult:
     """Build a controller, run it for ``n_epochs``, return a :class:`RunResult`.
 
@@ -286,11 +429,22 @@ def run_simulation(
         :class:`~repro.faults.injector.FaultInjector`); None runs
         fault-free, bit-identical to a controller built directly.
     scheme:
-        ``"skyran"``, ``"uniform"`` or ``"centroid"``.
+        ``"skyran"``, ``"uniform"``, ``"centroid"`` or ``"fleet"``.
     altitude:
         Pin the operating altitude (required semantics for the
         fixed-altitude baselines, optional for SkyRAN, which otherwise
         runs its own first-epoch search).
+    n_uavs / association / reuse_factor / handover_hysteresis_db:
+        Fleet knobs, used by ``scheme="fleet"`` only: fleet size,
+        association-policy name
+        (:func:`repro.core.association.available_associations`),
+        frequency reuse factor and handover hysteresis.  The fleet
+        scheme takes over cell attachment — UEs are moved off the
+        scenario's eNodeB onto per-cell eNodeBs — and reports
+        SINR-based :class:`FleetEpochRecord` rows under
+        ``RunResult.fleet_records``.  ``n_uavs=1`` is the degenerate
+        fleet: the single cell flies exactly the standalone SkyRAN
+        controller's path.
     """
     from repro.baselines.centroid import CentroidController
     from repro.baselines.uniform import UniformController
@@ -323,6 +477,48 @@ def run_simulation(
             altitude=float(altitude if altitude is not None else DEFAULT_FIXED_ALTITUDE_M),
             seed=seed,
             faults=injector,
+        )
+    elif scheme == "fleet":
+        from repro.core.fleet import FleetController
+
+        # The fleet owns cell attachment: detach every UE from the
+        # scenario's (single-cell) eNodeB so association can hand them
+        # to per-cell eNodeBs.
+        for ue in list(scenario.enodeb.ues):
+            scenario.enodeb.deregister_ue(ue.ue_id)
+        fleet = FleetController(
+            channel=scenario.channel,
+            ues=list(scenario.ues),
+            n_uavs=n_uavs,
+            config=cfg,
+            seed=seed,
+            association=association,
+            reuse_factor=reuse_factor,
+            handover_hysteresis_db=handover_hysteresis_db,
+            faults=injector,
+        )
+        if altitude is not None:
+            for ctrl in fleet.controllers:
+                ctrl.altitude = float(altitude)
+        before = perf.counters()
+        fleet_records = _run_fleet_epochs(
+            scenario,
+            fleet,
+            n_epochs,
+            budget_per_uav_m=budget_per_epoch_m,
+            move_fraction=move_fraction,
+            seed=seed,
+            on_epoch=on_epoch,
+        )
+        deltas = perf.counters_since(before)
+        return RunResult(
+            scheme=scheme,
+            records=(),
+            fault_counters={k: v for k, v in deltas.items() if k.startswith("faults.")},
+            fallback_counters={
+                k: v for k, v in deltas.items() if k.startswith("fallback.")
+            },
+            fleet_records=tuple(fleet_records),
         )
     else:
         raise ValueError(f"unknown scheme {scheme!r}")

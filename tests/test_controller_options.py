@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.config import SkyRANConfig
 from repro.core.controller import SkyRANController
-from repro.core.multi_uav import MultiUAVCoordinator
+from repro.core.fleet import FleetController
 from repro.flight.energy import EnergyBudget
 from repro.sim.scenario import Scenario
 
@@ -37,16 +37,16 @@ class TestFleetSinr:
         scenario = Scenario.create("campus", n_ues=4, cell_size=4.0, seed=16)
         for ue in list(scenario.enodeb.ues):
             scenario.enodeb.deregister_ue(ue.ue_id)
-        coord = MultiUAVCoordinator(
-            scenario.channel,
-            scenario.ues,
+        coord = FleetController(
+            channel=scenario.channel,
+            ues=scenario.ues,
             n_uavs=2,
             config=SkyRANConfig(rem_cell_size_m=8.0),
             seed=2,
         )
         result = coord.run_epoch(budget_per_uav_m=200.0)
         snr = coord.per_ue_snr_db()
-        sinr = coord.per_ue_sinr_db(result.assignment)
+        sinr = coord.per_ue_sinr_db(result.serving)
         for ue_id in sinr:
             # Interference can only cost; best-UAV SNR upper-bounds
             # the serving SINR.
@@ -56,14 +56,14 @@ class TestFleetSinr:
         scenario = Scenario.create("campus", n_ues=4, cell_size=4.0, seed=16)
         for ue in list(scenario.enodeb.ues):
             scenario.enodeb.deregister_ue(ue.ue_id)
-        coord = MultiUAVCoordinator(
-            scenario.channel,
-            scenario.ues,
+        coord = FleetController(
+            channel=scenario.channel,
+            ues=scenario.ues,
             n_uavs=2,
             config=SkyRANConfig(rem_cell_size_m=8.0),
             seed=2,
         )
         result = coord.run_epoch(budget_per_uav_m=200.0)
-        busy = coord.per_ue_sinr_db(result.assignment, activity=[1.0, 1.0])
-        idle = coord.per_ue_sinr_db(result.assignment, activity=[0.0, 0.0])
+        busy = coord.per_ue_sinr_db(result.serving, activity=[1.0, 1.0])
+        idle = coord.per_ue_sinr_db(result.serving, activity=[0.0, 0.0])
         assert all(idle[k] >= busy[k] for k in busy)
