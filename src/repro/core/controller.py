@@ -505,17 +505,8 @@ class SkyRANController:
         # from (seed, ue_id)).
         self.last_mac_summary = None
         if self._traffic_enabled:
-            self._mac = MACSimulation(
-                [u.ue_id for u in self.enodeb.connected_ues()],
-                traffic_model=self.config.traffic_model,
-                scheduler=self.config.scheduler,
-                seed=self.seed,
-                n_prb=self.enodeb.n_prb,
-                buffer_bytes=self.config.traffic_buffer_bytes,
-                traffic_params={"rate_mbps": self.config.traffic_rate_mbps},
-                scheduler_params={
-                    "time_constant_tti": self.config.pf_time_constant_tti
-                },
+            self._mac = self._make_mac(
+                [u.ue_id for u in self.enodeb.connected_ues()]
             )
             batch = self._serve_tti_batch()
             self.last_mac_summary = self._summarize_batch(batch)
@@ -539,6 +530,44 @@ class SkyRANController:
         return result
 
     # -- serving-time monitoring ---------------------------------------------------------
+
+    def _make_mac(self, ue_ids: List[int]) -> MACSimulation:
+        """A fresh MAC simulation for the given UE population.
+
+        Per-UE generator streams restart deterministically from
+        ``(seed, ue_id)``, so rebuilding for the same population is
+        bit-identical to the original build.
+        """
+        return MACSimulation(
+            ue_ids,
+            traffic_model=self.config.traffic_model,
+            scheduler=self.config.scheduler,
+            seed=self.seed,
+            n_prb=self.enodeb.n_prb,
+            buffer_bytes=self.config.traffic_buffer_bytes,
+            traffic_params={"rate_mbps": self.config.traffic_rate_mbps},
+            scheduler_params={
+                "time_constant_tti": self.config.pf_time_constant_tti
+            },
+        )
+
+    def refresh_population(self) -> None:
+        """Rebuild serving-time state after the attached set changed.
+
+        The event layer calls this on every attach/detach/storm
+        knock-off: queue backlogs belong to UEs that may be gone and
+        the scheduler's fairness history is for the old population, so
+        under a traffic-aware config the MAC simulation is rebuilt for
+        the current connected set (``None`` while the cell is empty —
+        :meth:`served_throughput_mbps` would have nothing to serve).
+        With the default full-buffer config this is a no-op, keeping
+        non-event runs untouched.
+        """
+        if not self._traffic_enabled:
+            return
+        ids = [u.ue_id for u in self.enodeb.connected_ues()]
+        self._mac = self._make_mac(ids) if ids else None
+        perf.count("events.mac_rebuild")
 
     def aggregate_throughput_mbps(self) -> float:
         """Mean full-cell throughput over UEs at the current position.

@@ -33,7 +33,15 @@ class EpochTrigger:
         Aggregate performance recorded right after placement.
     history:
         (time, value) samples seen since the last reset, for benches
-        that plot the decay.
+        that plot the decay.  Bounded: only the most recent
+        ``history_maxlen`` samples are retained, so long event-driven
+        serving phases (hours of KPI ticks between re-plans) cannot
+        grow memory without bound.
+    history_maxlen:
+        Cap on retained history samples; older samples are dropped
+        (and counted in ``history_dropped``) as new ones arrive.
+    history_dropped:
+        Samples evicted from ``history`` since the last reset.
     metric:
         What the samples *are*: ``"capacity"`` (full-cell mean
         throughput at the current position — the legacy KPI, blind to
@@ -49,6 +57,8 @@ class EpochTrigger:
     reference: Optional[float] = None
     history: List[tuple] = field(default_factory=list)
     metric: str = "capacity"
+    history_maxlen: int = 512
+    history_dropped: int = 0
     _breach_streak: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -60,6 +70,10 @@ class EpochTrigger:
             raise ValueError(
                 f"metric must be 'capacity' or 'served', got {self.metric!r}"
             )
+        if self.history_maxlen < 1:
+            raise ValueError(
+                f"history_maxlen must be >= 1, got {self.history_maxlen}"
+            )
 
     def reset(self, reference: float) -> None:
         """Start a new epoch with a fresh performance reference."""
@@ -67,6 +81,7 @@ class EpochTrigger:
             raise ValueError(f"reference must be >= 0, got {reference}")
         self.reference = reference
         self.history = []
+        self.history_dropped = 0
         self._breach_streak = 0
 
     def update(self, value: float, t_s: float = 0.0) -> bool:
@@ -75,12 +90,21 @@ class EpochTrigger:
         With no reference yet (cold start), any sample triggers.  A
         breach only fires after ``debounce`` consecutive breaching
         samples; suppressed breaches bump ``fallback.epoch_debounced``.
+        A fire clears the streak, so a caller that keeps sampling
+        without an intervening :meth:`reset` (the event-driven serving
+        loop caps its re-plans) must accumulate ``debounce`` fresh
+        breaches before the trigger fires again.
         """
         self.history.append((t_s, value))
+        if len(self.history) > self.history_maxlen:
+            del self.history[0]
+            self.history_dropped += 1
         if self.reference is None:
+            self._breach_streak = 0
             return True
         if self.reference <= 0:
             # A dead reference epoch can only improve: re-plan.
+            self._breach_streak = 0
             return True
         breach = value < (1.0 - self.margin) * self.reference
         if not breach:
@@ -90,4 +114,5 @@ class EpochTrigger:
         if self._breach_streak < self.debounce:
             perf.count("fallback.epoch_debounced")
             return False
+        self._breach_streak = 0
         return True

@@ -1,0 +1,74 @@
+"""A deterministic discrete-event heap.
+
+The event layer needs exactly one scheduling primitive: "run this at
+time t".  :class:`EventQueue` is a thin wrapper over :mod:`heapq` with
+a monotone insertion sequence breaking time ties, so two events pushed
+at the same timestamp always pop in push order — replay of the same
+push sequence is bit-identical, which is what the determinism
+properties (and the pinned RNG contract built on top) rely on.  No
+simpy, no threads, no wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated time the event fires at.
+    seq:
+        Global push order; the deterministic tie-break (two events at
+        the same time fire in push order).
+    kind:
+        Event type tag (``"arrival"``, ``"rach"``, ``"attach"``, ...).
+    payload:
+        Kind-specific data (a UE id, a RACH slot index, ...).
+    """
+
+    time_s: float
+    seq: int
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time_s, seq)``.
+
+    ``seq`` is unique per push, so heap comparisons never reach the
+    ``kind``/``payload`` fields — payloads may be any type.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time_s: float, kind: str, payload: Any = None) -> None:
+        """Schedule ``kind`` at ``time_s`` (ties fire in push order)."""
+        t = float(time_s)
+        if t < 0:
+            raise ValueError(f"event time must be >= 0, got {t}")
+        heapq.heappush(self._heap, (t, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        t, seq, kind, payload = heapq.heappop(self._heap)
+        return Event(time_s=t, seq=seq, kind=kind, payload=payload)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,130 @@
+"""LTE random-access (RACH) contention primitives.
+
+The attach storm lives or dies on the RACH: every UE that wants in
+draws one of ``n_preambles`` Zadoff-Chu preambles and transmits it in
+the next PRACH opportunity.  Two UEs picking the same preamble in the
+same opportunity collide — the eNodeB sees one (garbled) preamble,
+neither gets past contention resolution, and both back off and retry.
+Survivors still compete for the RAR window's grant capacity
+(``rar_window_grants`` msg2 uplink grants per opportunity); overflow
+also retries.  Under a true storm the cell sheds load *before* the
+preamble draw with access-class barring (ACB, TS 36.331): each UE
+draws a uniform, proceeds only if it falls under ``barring_factor``,
+otherwise waits a randomized spell of the barring time.
+
+Everything here is pure computation over a caller-provided RNG — the
+event layer owns time, state, and the per-UE stream discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Contention-based preambles per PRACH opportunity (64 minus the 10
+#: typically reserved for contention-free handover access).
+DEFAULT_N_PREAMBLES = 54
+
+
+class AccessState(Enum):
+    """Where a UE is in its attach lifecycle."""
+
+    PENDING = "pending"  # not yet arrived
+    WAITING = "waiting"  # arrived; barred, backing off, or queued for PRACH
+    ATTACHED = "attached"
+    DETACHED = "detached"  # completed its session and left
+    FAILED = "failed"  # exhausted max attach attempts
+
+
+@dataclass(frozen=True)
+class RachOutcome:
+    """One PRACH opportunity's contention result.
+
+    Attributes
+    ----------
+    winners:
+        UE ids that picked a singleton preamble *and* got a RAR grant,
+        in grant order (preamble index order — the eNodeB answers
+        preambles low to high).
+    collided:
+        UE ids whose preamble was also picked by someone else.
+    starved:
+        UE ids with a clean preamble but no RAR grant left.
+    """
+
+    winners: Tuple[int, ...]
+    collided: Tuple[int, ...]
+    starved: Tuple[int, ...]
+
+
+def resolve_contention(
+    contenders: Sequence[int],
+    preamble_draws: Dict[int, int],
+    rar_window_grants: int,
+) -> RachOutcome:
+    """Resolve one PRACH opportunity.
+
+    ``preamble_draws`` maps each contender to its drawn preamble index
+    (the event layer draws these from per-UE streams).  Singleton
+    preambles win contention; of those, the first ``rar_window_grants``
+    in preamble-index order receive msg2 grants, the rest are starved
+    and must retry.
+    """
+    if rar_window_grants < 1:
+        raise ValueError(f"rar_window_grants must be >= 1, got {rar_window_grants}")
+    by_preamble: Dict[int, List[int]] = {}
+    for ue_id in contenders:
+        by_preamble.setdefault(preamble_draws[ue_id], []).append(ue_id)
+    winners: List[int] = []
+    collided: List[int] = []
+    starved: List[int] = []
+    for preamble in sorted(by_preamble):
+        group = by_preamble[preamble]
+        if len(group) > 1:
+            collided.extend(sorted(group))
+        elif len(winners) < rar_window_grants:
+            winners.append(group[0])
+        else:
+            starved.append(group[0])
+    return RachOutcome(
+        winners=tuple(winners), collided=tuple(collided), starved=tuple(starved)
+    )
+
+
+def barring_wait_s(
+    rng: np.random.Generator, barring_factor: float, barring_time_s: float
+) -> float:
+    """One ACB draw: 0.0 to proceed now, else the wait before retrying.
+
+    TS 36.331 §5.3.3.11: draw ``u``; if ``u < barring_factor`` access
+    proceeds, otherwise the UE is barred for
+    ``(0.7 + 0.6 * u2) * barring_time_s`` with a second uniform draw.
+    Two draws happen on the barred path only, so a fully-open cell
+    (factor 1.0) consumes exactly one uniform per access attempt.
+    """
+    if not 0.0 < barring_factor <= 1.0:
+        raise ValueError(f"barring_factor must be in (0, 1], got {barring_factor}")
+    if barring_time_s < 0:
+        raise ValueError(f"barring_time_s must be >= 0, got {barring_time_s}")
+    if float(rng.uniform()) < barring_factor:
+        return 0.0
+    return (0.7 + 0.6 * float(rng.uniform())) * barring_time_s
+
+
+def backoff_wait_s(
+    rng: np.random.Generator, backoff_max_s: float, attempt: int
+) -> float:
+    """Capped exponential backoff after a collision or RAR starvation.
+
+    Uniform over ``[0, backoff_max_s * 2**min(attempt, 8)]`` — the
+    binary-exponential spread that drains a synchronized collision
+    burst, with the exponent capped so waits stay bounded.
+    """
+    if backoff_max_s <= 0:
+        raise ValueError(f"backoff_max_s must be positive, got {backoff_max_s}")
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    return float(rng.uniform(0.0, backoff_max_s * float(2 ** min(attempt, 8))))

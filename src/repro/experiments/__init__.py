@@ -12,6 +12,7 @@ bench suite and EXPERIMENTS.md generation can enumerate them.
 
 from repro.experiments import (  # noqa: F401  (import side effect: registration)
     ablations,
+    attach_storm,
     fig01_motivation,
     fig05_trajectories,
     rem_vs_throughput_map,

@@ -26,7 +26,7 @@ from repro.perf import perf
 
 #: Spawn order of the per-channel RNG streams (stable across versions:
 #: appending a new channel must not reshuffle existing streams).
-_CHANNELS = ("srs", "gps", "tof", "wind", "snr", "traffic")
+_CHANNELS = ("srs", "gps", "tof", "wind", "snr", "traffic", "storm")
 
 
 class FaultInjector:
@@ -187,6 +187,27 @@ class FaultInjector:
             return offered
         perf.count("faults.traffic_burst", int(hit.sum()))
         return offered * np.where(hit, self.plan.traffic_burst_factor, 1.0)
+
+    # -- attach storms (event-driven serving phases) ------------------------------
+
+    def storm_onsets(self, duration_s: float) -> np.ndarray:
+        """Attach-storm onset times over one serving phase, sorted.
+
+        Onset count is Poisson in the phase duration at the plan's
+        rate; onsets are uniform over the phase.  Each onset knocks
+        ``plan.storm_burst_ues`` attached UEs into a simultaneous
+        re-attach (the event layer executes the knock-off).  Zero rate
+        draws no RNG.
+        """
+        if not self.plan.storm_active or duration_s <= 0:
+            return np.empty(0, dtype=float)
+        rng = self._rng["storm"]
+        n = int(rng.poisson(self.plan.storm_rate_per_s * float(duration_s)))
+        if n == 0:
+            return np.empty(0, dtype=float)
+        onsets = np.sort(rng.uniform(0.0, float(duration_s), n))
+        perf.count("faults.storm_onset", n)
+        return onsets
 
 
 def as_injector(faults: "FaultPlan | FaultInjector | None") -> Optional[FaultInjector]:

@@ -79,6 +79,13 @@ class FaultPlan:
         ``traffic_burst_factor`` (a flash-crowd/retransmission-storm
         burst on the *offered* load, before RLC admission).  Zero rate
         draws no RNG, so existing runs stay bit-identical.
+    storm_rate_per_s / storm_burst_ues:
+        Expected attach-storm onsets per second of event-driven
+        serving time, and how many attached UEs each onset knocks into
+        a simultaneous re-attach (a cell-wide radio-link-failure /
+        flash-crowd storm hitting the RACH control plane at once).
+        Only the event layer (:mod:`repro.events`) consumes this
+        channel; zero rate draws no RNG.
     """
 
     seed: int = 0
@@ -96,6 +103,8 @@ class FaultPlan:
     snr_corrupt_sigma_db: float = 10.0
     traffic_burst_rate: float = 0.0
     traffic_burst_factor: float = 5.0
+    storm_rate_per_s: float = 0.0
+    storm_burst_ues: int = 25
 
     def __post_init__(self) -> None:
         for name in (
@@ -115,8 +124,13 @@ class FaultPlan:
             "wind_speed_mps",
             "snr_corrupt_sigma_db",
             "traffic_burst_factor",
+            "storm_rate_per_s",
         ):
             _check_nonneg(name, getattr(self, name))
+        if self.storm_burst_ues < 1:
+            raise ValueError(
+                f"storm_burst_ues must be >= 1, got {self.storm_burst_ues}"
+            )
 
     # -- channel activity ---------------------------------------------------------
 
@@ -145,6 +159,10 @@ class FaultPlan:
         return self.traffic_burst_rate > 0
 
     @property
+    def storm_active(self) -> bool:
+        return self.storm_rate_per_s > 0
+
+    @property
     def active(self) -> bool:
         """True if any fault channel can fire."""
         return (
@@ -154,6 +172,7 @@ class FaultPlan:
             or self.wind_active
             or self.snr_active
             or self.traffic_active
+            or self.storm_active
         )
 
     @classmethod

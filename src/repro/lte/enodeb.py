@@ -12,9 +12,12 @@ consumes.  Full-cell (unshared) throughput — what the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mobility uses lte.ue)
+    from repro.mobility.models import MobilityModel
 
 from repro.lte.epc import EPC
 from repro.lte.linkadapt import OuterLoopLinkAdaptation
@@ -56,12 +59,18 @@ class ENodeB:
         Optional outer-loop link adaptation attached to this cell;
         when present its per-UE state is forgotten on detach so a
         re-attached UE id starts from a zero offset.
+    mobility:
+        Optional mobility model moving this cell's UEs; when present
+        its per-UE state (waypoints, route progress, dwell timers) is
+        forgotten on detach, exactly like the OLLA offsets — detached
+        and churned UEs must not leak state.
     """
 
     epc: EPC = field(default_factory=EPC)
     srs_config: SRSConfig = field(default_factory=SRSConfig)
     n_prb: int = PRB_PER_10MHZ
     olla: Optional[OuterLoopLinkAdaptation] = None
+    mobility: Optional["MobilityModel"] = None
     _ues: Dict[int, UE] = field(default_factory=dict)
 
     # -- attachment ---------------------------------------------------------------
@@ -81,6 +90,8 @@ class ENodeB:
             self.epc.detach(ue)
             if self.olla is not None:
                 self.olla.forget(ue_id)
+            if self.mobility is not None:
+                self.mobility.forget(ue_id)
 
     @property
     def ues(self) -> List[UE]:

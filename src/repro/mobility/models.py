@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.geo.grid import GridSpec
 from repro.lte.ue import UE
+from repro.perf import perf
 
 #: Pedestrian walking speed, m/s (the paper's Fig. 12 routes are
 #: "scripted to closely mimic human mobility").
@@ -22,6 +23,15 @@ class MobilityModel(ABC):
     @abstractmethod
     def step(self, ue: UE, dt_s: float, rng: np.random.Generator) -> None:
         """Move one UE forward by ``dt_s`` seconds."""
+
+    def forget(self, ue_id: int) -> None:
+        """Drop any per-UE state held for ``ue_id``.
+
+        Mirrors ``OLLA.forget``: deregistration calls this so detached
+        or churned UEs do not pin waypoint/route/dwell state forever,
+        and a re-attached UE id starts its motion fresh.  The base
+        implementation is a no-op for stateless models.
+        """
 
 
 class Static(MobilityModel):
@@ -44,6 +54,16 @@ class RandomWaypoint(MobilityModel):
     pause_s: float = 30.0
     _targets: dict = field(default_factory=dict)
     _pauses: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed_mps must be positive, got {self.speed_mps}")
+        if self.pause_s < 0:
+            raise ValueError(f"pause_s must be >= 0, got {self.pause_s}")
+
+    def forget(self, ue_id: int) -> None:
+        self._targets.pop(ue_id, None)
+        self._pauses.pop(ue_id, None)
 
     def step(self, ue: UE, dt_s: float, rng: np.random.Generator) -> None:
         if dt_s < 0:
@@ -70,7 +90,7 @@ class RandomWaypoint(MobilityModel):
             reachable = self.speed_mps * remaining
             if reachable >= to_go:
                 ue.move_to(float(target[0]), float(target[1]))
-                remaining -= to_go / self.speed_mps if self.speed_mps > 0 else remaining
+                remaining -= to_go / self.speed_mps
                 del self._targets[ue.ue_id]
                 self._pauses[ue.ue_id] = self.pause_s
             else:
@@ -93,6 +113,8 @@ class ScriptedRoute(MobilityModel):
     _progress: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed_mps must be positive, got {self.speed_mps}")
         self.route = np.asarray(self.route, dtype=float).reshape(-1, 2)
         if len(self.route) < 2:
             raise ValueError("route needs at least two vertices")
@@ -121,6 +143,9 @@ class ScriptedRoute(MobilityModel):
         self._progress[ue.ue_id] = arc
         pos = self._position_at(arc)
         ue.move_to(float(pos[0]), float(pos[1]))
+
+    def forget(self, ue_id: int) -> None:
+        self._progress.pop(ue_id, None)
 
 
 @dataclass
@@ -153,6 +178,9 @@ class ClusterMobility(MobilityModel):
             left = rng.exponential(self.dwell_mean_s)
         self._until[ue.ue_id] = left
 
+    def forget(self, ue_id: int) -> None:
+        self._until.pop(ue_id, None)
+
 
 def relocate_fraction(
     ues: Sequence[UE],
@@ -168,7 +196,9 @@ def relocate_fraction(
     ids of the moved UEs.
 
     ``clearance_check(x, y) -> bool`` can veto positions (e.g. inside
-    buildings); up to 100 draws per UE before giving up on the veto.
+    buildings); up to 100 draws per UE.  A UE whose every draw is
+    vetoed stays where it is (``mobility.clearance_giveup`` counts the
+    give-ups) rather than being teleported to a vetoed position.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
@@ -184,6 +214,9 @@ def relocate_fraction(
             y = rng.uniform(grid.origin_y, grid.max_y)
             if clearance_check is None or clearance_check(x, y):
                 break
+        else:
+            perf.count("mobility.clearance_giveup")
+            continue
         ues[i].move_to(x, y)
         moved.append(ues[i].ue_id)
     return moved

@@ -57,6 +57,13 @@ class EpochRecord:
     backlog_bytes / dropped_bytes:
         End-of-batch aggregate RLC backlog (inf under full-buffer
         workloads) and cumulative tail-dropped bytes (None as above).
+    attached_ues:
+        UEs attached when this epoch was planned (None outside
+        ``scheme="events"`` — the epoch loop then serves a fixed
+        population).
+    attaches / detaches / rach_collisions / barred:
+        Event-layer control-plane counters accumulated since the
+        previous epoch (None outside ``scheme="events"``).
     """
 
     epoch: int
@@ -73,6 +80,11 @@ class EpochRecord:
     served_mbps: Optional[float] = None
     backlog_bytes: Optional[float] = None
     dropped_bytes: Optional[float] = None
+    attached_ues: Optional[int] = None
+    attaches: Optional[int] = None
+    detaches: Optional[int] = None
+    rach_collisions: Optional[int] = None
+    barred: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -144,7 +156,11 @@ def _evaluate_epoch(
         truth = scenario.truth_maps(altitude, rem_grid)
         order = sorted(rem_maps)
         # Rows of truth follow scenario.ues order (by construction ids
-        # are 1..n sorted), matching sorted map keys.
+        # are 1..n sorted), matching sorted map keys.  Under the events
+        # scheme only the attached subset has maps, so pick its rows.
+        all_ids = sorted(ue.ue_id for ue in scenario.ues)
+        if len(order) != len(all_ids):
+            truth = truth[[all_ids.index(k) for k in order]]
         err = median_rem_error(rem_maps, truth, ue_order=order)
     else:
         err = float("nan")
@@ -297,6 +313,117 @@ def _run_fleet_epochs(
     return records
 
 
+def _run_event_epochs(
+    scenario: Scenario,
+    controller,
+    events_config,
+    serve_time_s: float,
+    n_epochs: int,
+    budget_per_epoch_m: Optional[float] = None,
+    arrival_params: Optional[Dict] = None,
+    seed: int = 0,
+    on_epoch: Optional[Callable[[EpochRecord], None]] = None,
+    faults=None,
+):
+    """Drive a controller from the event-driven attach/churn layer.
+
+    The inversion of :func:`run_epochs`: instead of a fixed population
+    and a fixed epoch count, the :class:`~repro.events.simulate.
+    AttachSimulation` owns time.  UEs arrive, fight through the RACH
+    and attach; every registration change rebuilds the controller's
+    serving-time MAC state; every KPI heartbeat feeds the epoch
+    trigger, and a re-plan runs the moment the first UE attaches and
+    again whenever the trigger fires — up to ``n_epochs`` re-plans in
+    ``serve_time_s`` simulated seconds.
+
+    Returns ``(records, sim)`` so callers can inspect the final
+    population census and counters.
+    """
+    from repro.events.simulate import AttachSimulation
+
+    # The event layer owns attachment for the run: UEs start detached
+    # and must earn their registration through the RACH.
+    for ue in list(scenario.enodeb.ues):
+        scenario.enodeb.deregister_ue(ue.ue_id)
+
+    records: List[EpochRecord] = []
+    cum = {"d": 0.0, "t": 0.0}
+    rem_grid = getattr(controller, "rem_grid", scenario.eval_grid)
+    counter_mark: Dict[str, int] = {}
+
+    def run_one_epoch() -> None:
+        with perf.span("runner.epoch"):
+            if budget_per_epoch_m is not None:
+                result = controller.run_epoch(budget_per_epoch_m)
+            else:
+                result = controller.run_epoch()
+        with perf.span("runner.evaluate"):
+            rel, err, alt, min_tput = _evaluate_epoch(
+                scenario, controller, result, rem_grid
+            )
+        cum["d"] += result.flight_distance_m
+        cum["t"] += result.flight_time_s
+        mac = getattr(controller, "last_mac_summary", None)
+        delta = {
+            k: sim.counters[k] - counter_mark.get(k, 0) for k in sim.counters
+        }
+        counter_mark.update(sim.counters)
+        record = EpochRecord(
+            epoch=len(records),
+            flight_distance_m=result.flight_distance_m,
+            flight_time_s=result.flight_time_s,
+            cumulative_distance_m=cum["d"],
+            cumulative_time_s=cum["t"],
+            relative_throughput=rel,
+            rem_error_db=err,
+            moved_ues=(),
+            altitude_m=alt,
+            min_throughput_mbps=min_tput,
+            offered_mbps=None if mac is None else mac["offered_mbps"],
+            served_mbps=None if mac is None else mac["served_mbps"],
+            backlog_bytes=None if mac is None else mac["backlog_bytes"],
+            dropped_bytes=None if mac is None else mac["dropped_bytes"],
+            attached_ues=len(scenario.enodeb.connected_ues()),
+            attaches=delta["attaches"],
+            detaches=delta["detaches"],
+            rach_collisions=delta["rach_collisions"],
+            barred=delta["barred"],
+        )
+        records.append(record)
+        if on_epoch is not None:
+            on_epoch(record)
+
+    def on_population_change(t_s: float) -> None:
+        del t_s
+        controller.refresh_population()
+
+    def on_kpi(t_s: float) -> None:
+        if len(records) >= n_epochs:
+            return
+        if not scenario.enodeb.connected_ues():
+            return
+        if controller.epoch_index == 0:
+            # First UEs are in: plan the initial deployment.
+            run_one_epoch()
+            return
+        if controller.needs_new_epoch(t_s):
+            perf.count("events.trigger_replan")
+            run_one_epoch()
+
+    sim = AttachSimulation(
+        scenario.enodeb,
+        list(scenario.ues),
+        events_config,
+        seed=seed,
+        arrival_params=arrival_params,
+        faults=faults,
+        on_population_change=on_population_change,
+        on_kpi=on_kpi,
+    )
+    sim.run(serve_time_s)
+    return records, sim
+
+
 def overhead_to_target(
     records: List[EpochRecord],
     target_relative: float = 0.9,
@@ -348,6 +475,14 @@ class RunResult:
     fleet_records:
         One :class:`FleetEpochRecord` per epoch for ``scheme="fleet"``
         runs; empty otherwise.
+    event_counters:
+        The attach/churn layer's control-plane counters (arrivals,
+        attaches, collisions, barring, storms) for ``scheme="events"``
+        runs; empty otherwise.
+    population:
+        End-of-run lifecycle census (state name -> UE count, summing
+        to the spawned population) for ``scheme="events"`` runs; empty
+        otherwise.
     """
 
     scheme: str
@@ -355,6 +490,8 @@ class RunResult:
     fault_counters: Dict[str, int] = field(default_factory=dict)
     fallback_counters: Dict[str, int] = field(default_factory=dict)
     fleet_records: Tuple[FleetEpochRecord, ...] = ()
+    event_counters: Dict[str, int] = field(default_factory=dict)
+    population: Dict[str, int] = field(default_factory=dict)
 
     @property
     def final(self) -> EpochRecord:
@@ -409,6 +546,10 @@ def run_simulation(
     association: str = "best_sinr",
     reuse_factor: int = 1,
     handover_hysteresis_db: float = 3.0,
+    events=None,
+    arrival_params: Optional[Dict] = None,
+    serve_time_s: float = 120.0,
+    mobility=None,
 ) -> RunResult:
     """Build a controller, run it for ``n_epochs``, return a :class:`RunResult`.
 
@@ -429,7 +570,8 @@ def run_simulation(
         :class:`~repro.faults.injector.FaultInjector`); None runs
         fault-free, bit-identical to a controller built directly.
     scheme:
-        ``"skyran"``, ``"uniform"``, ``"centroid"`` or ``"fleet"``.
+        ``"skyran"``, ``"uniform"``, ``"centroid"``, ``"fleet"`` or
+        ``"events"``.
     altitude:
         Pin the operating altitude (required semantics for the
         fixed-altitude baselines, optional for SkyRAN, which otherwise
@@ -445,6 +587,18 @@ def run_simulation(
         ``RunResult.fleet_records``.  ``n_uavs=1`` is the degenerate
         fleet: the single cell flies exactly the standalone SkyRAN
         controller's path.
+    events / arrival_params / serve_time_s / mobility:
+        Event-layer knobs, used by ``scheme="events"`` only.
+        ``events`` is an :class:`~repro.events.simulate.EventConfig`
+        (defaults to one with paper-ish RACH numerology);
+        ``arrival_params`` feeds the arrival-process factory;
+        ``serve_time_s`` is the simulated serving window the event
+        loop runs for; ``mobility`` is an optional
+        :class:`~repro.mobility.models.MobilityModel` stepping
+        attached UEs.  The events scheme takes over attachment — UEs
+        start detached and earn registration through the RACH — and
+        ``n_epochs`` becomes a *cap* on trigger-driven re-plans rather
+        than an exact count.
     """
     from repro.baselines.centroid import CentroidController
     from repro.baselines.uniform import UniformController
@@ -477,6 +631,41 @@ def run_simulation(
             altitude=float(altitude if altitude is not None else DEFAULT_FIXED_ALTITUDE_M),
             seed=seed,
             faults=injector,
+        )
+    elif scheme == "events":
+        from repro.events.simulate import EventConfig
+
+        controller = SkyRANController(
+            scenario.channel, scenario.enodeb, cfg, seed=seed, faults=injector
+        )
+        if altitude is not None:
+            controller.altitude = float(altitude)
+        if mobility is not None:
+            scenario.enodeb.mobility = mobility
+        events_config = events if events is not None else EventConfig()
+        before = perf.counters()
+        records, sim = _run_event_epochs(
+            scenario,
+            controller,
+            events_config,
+            serve_time_s=serve_time_s,
+            n_epochs=n_epochs,
+            budget_per_epoch_m=budget_per_epoch_m,
+            arrival_params=arrival_params,
+            seed=seed,
+            on_epoch=on_epoch,
+            faults=injector,
+        )
+        deltas = perf.counters_since(before)
+        return RunResult(
+            scheme=scheme,
+            records=tuple(records),
+            fault_counters={k: v for k, v in deltas.items() if k.startswith("faults.")},
+            fallback_counters={
+                k: v for k, v in deltas.items() if k.startswith("fallback.")
+            },
+            event_counters=dict(sim.counters),
+            population=sim.population(),
         )
     elif scheme == "fleet":
         from repro.core.fleet import FleetController

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geo.grid import GridSpec
+from repro.lte.enodeb import ENodeB
 from repro.lte.ue import UE
 from repro.mobility.models import (
     ClusterMobility,
@@ -12,6 +13,7 @@ from repro.mobility.models import (
     Static,
     relocate_fraction,
 )
+from repro.perf import perf
 
 
 @pytest.fixture()
@@ -143,3 +145,104 @@ class TestRelocate:
     def test_invalid_fraction(self, grid, rng):
         with pytest.raises(ValueError):
             relocate_fraction([_ue(1)], 1.5, grid, rng)
+
+    def test_all_draws_vetoed_keeps_ue_in_place(self, grid, rng):
+        """Regression: a UE whose every draw is vetoed used to be
+        teleported to the last *rejected* position (e.g. inside a
+        building); it must stay where it is instead."""
+        ues = [_ue(i) for i in range(3)]
+        before = perf.counters()
+        moved = relocate_fraction(
+            ues, 1.0, grid, rng, clearance_check=lambda x, y: False
+        )
+        assert moved == []
+        for ue in ues:
+            assert (ue.position.x, ue.position.y) == (50.0, 50.0)
+        deltas = perf.counters_since(before)
+        assert deltas.get("mobility.clearance_giveup", 0) == 3
+
+    def test_giveup_same_draw_schedule_as_success(self, grid):
+        """The give-up branch must not change the RNG draw schedule:
+        UEs after a fully-vetoed one land exactly where they would
+        have if the vetoed UE had been movable."""
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        ues_a = [_ue(i) for i in range(4)]
+        ues_b = [_ue(i) for i in range(4)]
+        relocate_fraction(ues_a, 1.0, grid, rng_a)
+        relocate_fraction(ues_b, 1.0, grid, rng_b, clearance_check=lambda x, y: True)
+        for a, b in zip(ues_a, ues_b):
+            assert (a.position.x, a.position.y) == (b.position.x, b.position.y)
+
+
+class TestForget:
+    def test_static_forget_is_noop(self):
+        Static().forget(1)  # must not raise
+
+    def test_random_waypoint_forget_clears_state(self, grid, rng):
+        model = RandomWaypoint(grid, speed_mps=1000.0, pause_s=10.0)
+        ue = _ue(1)
+        model.step(ue, 1.0, rng)  # reaches a waypoint -> pause recorded
+        model.step(_ue(2), 0.5, rng)  # second UE holds state too
+        assert 1 in model._pauses or 1 in model._targets
+        assert 2 in model._pauses or 2 in model._targets
+        model.forget(1)
+        assert 1 not in model._targets and 1 not in model._pauses
+        assert 2 in model._pauses or 2 in model._targets  # others untouched
+
+    def test_scripted_route_forget_resets_progress(self, rng):
+        route = np.array([[0.0, 0.0], [100.0, 0.0]])
+        model = ScriptedRoute(route, speed_mps=1.0)
+        ue = _ue(1, 0, 0)
+        model.step(ue, 10.0, rng)
+        assert 1 in model._progress
+        model.forget(1)
+        assert 1 not in model._progress
+        # A re-attached id starts its route fresh.
+        model.step(ue, 10.0, rng)
+        assert ue.position.x == pytest.approx(10.0)
+
+    def test_cluster_forget_clears_dwell(self, rng):
+        spots = np.array([[10.0, 10.0]])
+        model = ClusterMobility(spots, dwell_mean_s=1e9)
+        ue = _ue(1)
+        model.step(ue, 1.0, rng)
+        assert 1 in model._until
+        model.forget(1)
+        assert 1 not in model._until
+
+    def test_enodeb_deregister_forgets_mobility_state(self, grid, rng):
+        """Deregistration must clean mobility state exactly like the
+        OLLA offsets: detached UEs cannot pin waypoints forever."""
+        model = RandomWaypoint(grid, speed_mps=1.0, pause_s=0.0)
+        enodeb = ENodeB(mobility=model)
+        ue = _ue(1)
+        enodeb.register_ue(ue)
+        model.step(ue, 0.5, rng)
+        assert 1 in model._targets
+        enodeb.deregister_ue(1)
+        assert 1 not in model._targets and 1 not in model._pauses
+
+    def test_enodeb_without_mobility_still_deregisters(self):
+        enodeb = ENodeB()
+        ue = _ue(1)
+        enodeb.register_ue(ue)
+        enodeb.deregister_ue(1)  # must not raise
+        assert enodeb.ues == []
+
+
+class TestValidation:
+    def test_random_waypoint_rejects_nonpositive_speed(self, grid):
+        with pytest.raises(ValueError, match="speed_mps"):
+            RandomWaypoint(grid, speed_mps=0.0)
+        with pytest.raises(ValueError, match="speed_mps"):
+            RandomWaypoint(grid, speed_mps=-1.4)
+
+    def test_random_waypoint_rejects_negative_pause(self, grid):
+        with pytest.raises(ValueError, match="pause_s"):
+            RandomWaypoint(grid, pause_s=-1.0)
+
+    def test_scripted_route_rejects_nonpositive_speed(self):
+        route = np.array([[0.0, 0.0], [10.0, 0.0]])
+        with pytest.raises(ValueError, match="speed_mps"):
+            ScriptedRoute(route, speed_mps=0.0)
