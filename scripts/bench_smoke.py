@@ -413,6 +413,65 @@ def bench_city(ues_list, n_tti: int, shard_ues=None) -> dict:
     }
 
 
+def bench_epoch(ues_list, ref_ues: int, budget_m: float, n_tti: int) -> dict:
+    """Full SkyRANController epochs over city populations.
+
+    Unlike :func:`bench_city` (steady-state placement + MAC), each
+    point drives the real controller end to end — localization on a
+    deduped sample, altitude search, REM seeding, trajectory planning
+    over dedup waypoints, measurement flight, streamed
+    uncertainty-discounted placement — then serves the population
+    through OLLA and the sharded MAC.  Streamed points run at every
+    population size (work saturates at the occupied REM-key cells, so
+    wall time and peak allocation stay flat); the materialized per-UE
+    reference runs once at ``ref_ues`` and anchors the
+    ``--min-epoch-speedup`` gate.
+    """
+    from repro.city import CityScenario  # noqa: E402
+
+    def run_point(n_ues: int, per_ue: bool) -> dict:
+        scenario = CityScenario.create(n_ues=n_ues, seed=0)
+        perf.reset()
+        t0 = time.perf_counter()
+        out = scenario.run_controller_epoch(
+            budget_m=budget_m, n_tti=n_tti, per_ue=per_ue
+        )
+        wall = time.perf_counter() - t0
+        stat = perf.spans()["city.controller_epoch"]
+        return {
+            "n_ues": n_ues,
+            "per_ue": per_ue,
+            "wall_s": wall,
+            "peak_alloc_bytes": stat.peak_alloc_bytes,
+            "max_rss_bytes": stat.max_rss_bytes,
+            "streamed": bool(out["streamed"]),
+            "n_rem_groups": out["n_rem_groups"],
+            "altitude_m": float(out["altitude_m"]),
+            "min_snr_db": float(out["min_snr_db"]),
+            "mean_snr_db": float(out["mean_snr_db"]),
+            "aggregate_served_mbps": float(out["aggregate_served_mbps"]),
+        }
+
+    points = [run_point(n, per_ue=False) for n in ues_list]
+    reference = run_point(ref_ues, per_ue=True)
+    streamed_at_ref = next((p for p in points if p["n_ues"] == ref_ues), None)
+    if streamed_at_ref is None:
+        streamed_at_ref = run_point(ref_ues, per_ue=False)
+        points.append(streamed_at_ref)
+    return {
+        "terrain": "large",
+        "budget_m": budget_m,
+        "n_tti": n_tti,
+        "points": points,
+        "reference": reference,
+        "speedup": (
+            reference["wall_s"] / streamed_at_ref["wall_s"]
+            if streamed_at_ref["wall_s"] > 0
+            else float("inf")
+        ),
+    }
+
+
 def bench_fleet(n_ues: int, repeats: int) -> dict:
     """Batched fleet SINR stack vs the scalar per-(UAV, UE) loop.
 
@@ -602,6 +661,48 @@ def main(argv=None) -> int:
         help="with --city, fail if peak RSS after the largest point "
         "exceeds this many MB (generous CI bound; 0 = report only)",
     )
+    parser.add_argument(
+        "--epoch",
+        action="store_true",
+        help="also run full controller epochs over city populations and "
+        "gate with --min-epoch-speedup / --max-epoch-alloc-mb",
+    )
+    parser.add_argument(
+        "--epoch-ues",
+        type=str,
+        default="1000,10000,100000",
+        help="comma-separated population sizes for streamed epoch points",
+    )
+    parser.add_argument(
+        "--epoch-ref-ues",
+        type=int,
+        default=10000,
+        help="population size of the materialized per-UE reference epoch",
+    )
+    parser.add_argument(
+        "--epoch-budget-m",
+        type=float,
+        default=240.0,
+        help="measurement budget per controller epoch",
+    )
+    parser.add_argument(
+        "--epoch-tti", type=int, default=100, help="TTIs served after each epoch"
+    )
+    parser.add_argument(
+        "--min-epoch-speedup",
+        type=float,
+        default=3.0,
+        help="with --epoch, fail if the streamed epoch is not at least "
+        "this many times faster than the per-UE reference at the "
+        "reference population (generous CI floor; 0 = report only)",
+    )
+    parser.add_argument(
+        "--max-epoch-alloc-mb",
+        type=float,
+        default=256.0,
+        help="with --epoch, fail if any streamed point's tracemalloc peak "
+        "exceeds this many MB (generous CI bound; 0 = report only)",
+    )
     args = parser.parse_args(argv)
 
     payload = {"bench": "headline_smoke"}
@@ -669,6 +770,29 @@ def main(argv=None) -> int:
                 f"{pt['mac_shards']} shards, "
                 f"{pt['aggregate_served_mbps']:.1f} Mbps served"
             )
+
+    epoch = None
+    if args.epoch:
+        ues_list = [int(x) for x in args.epoch_ues.split(",") if x.strip()]
+        epoch = bench_epoch(
+            ues_list, args.epoch_ref_ues, args.epoch_budget_m, args.epoch_tti
+        )
+        payload["epoch"] = epoch
+        for pt in epoch["points"]:
+            print(
+                f"[epoch] {pt['n_ues']:>7d} UEs streamed: {pt['wall_s']:.2f} s, "
+                f"peak alloc {pt['peak_alloc_bytes'] / 1e6:.1f} MB, "
+                f"{pt['n_rem_groups']} REM groups, "
+                f"min SNR {pt['min_snr_db']:.1f} dB, "
+                f"{pt['aggregate_served_mbps']:.1f} Mbps served"
+            )
+        ref = epoch["reference"]
+        print(
+            f"[epoch] {ref['n_ues']:>7d} UEs per-UE reference: "
+            f"{ref['wall_s']:.2f} s, "
+            f"peak alloc {ref['peak_alloc_bytes'] / 1e6:.1f} MB "
+            f"-> streamed speedup {epoch['speedup']:.2f}x"
+        )
 
     if not args.skip_headline:
         headline = bench_headline()
@@ -762,6 +886,37 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: city peak RSS {rss_mb:.1f} MB at "
                 f"{worst['n_ues']} UEs > bound {args.max_city_rss_mb:.0f} MB",
+                file=sys.stderr,
+            )
+            return 1
+    if epoch is not None:
+        not_streamed = [p["n_ues"] for p in epoch["points"] if not p["streamed"]]
+        if not_streamed:
+            print(
+                "FAIL: epoch points did not take the streamed path: "
+                + ", ".join(map(str, not_streamed)),
+                file=sys.stderr,
+            )
+            return 1
+        if epoch["reference"]["streamed"]:
+            print(
+                "FAIL: per-UE reference epoch took the streamed path",
+                file=sys.stderr,
+            )
+            return 1
+        if args.min_epoch_speedup > 0 and epoch["speedup"] < args.min_epoch_speedup:
+            print(
+                f"FAIL: streamed epoch speedup {epoch['speedup']:.2f}x "
+                f"< required {args.min_epoch_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        worst = max(epoch["points"], key=lambda p: p["peak_alloc_bytes"])
+        alloc_mb = worst["peak_alloc_bytes"] / 1e6
+        if args.max_epoch_alloc_mb > 0 and alloc_mb > args.max_epoch_alloc_mb:
+            print(
+                f"FAIL: streamed epoch peak allocation {alloc_mb:.1f} MB at "
+                f"{worst['n_ues']} UEs > bound {args.max_epoch_alloc_mb:.0f} MB",
                 file=sys.stderr,
             )
             return 1

@@ -466,9 +466,11 @@ class ChannelModel:
         if ues.shape[0] == 0:
             return np.empty(0, dtype=float)
         if self.shadowing_sigma_db > 0:
+            perf.count("oracle.to_many_ue_loop", len(ues))
             return np.array(
                 [float(self.path_loss_db(uav, ue)) for ue in ues], dtype=float
             )
+        perf.count("oracle.to_many_batched", len(ues))
         obstructed = obstructed_lengths(
             self.terrain, uav[None, :], ues, self.ray_step_m
         )

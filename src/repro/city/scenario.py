@@ -20,7 +20,7 @@ anyway; the ray step defaults to the terrain cell size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +58,7 @@ class CityScenario:
 
     def __post_init__(self) -> None:
         self.olla = OLLABank(n_ues=self.population.n_ues)
+        self._controllers: Dict[Tuple, object] = {}
 
     @classmethod
     def create(
@@ -233,6 +234,130 @@ class CityScenario:
         return {
             "placement": placement,
             "min_snr_db": placement.min_snr_db,
+            "mean_snr_db": float(snr.mean()),
+            "aggregate_served_mbps": mac.aggregate_served_mbps(),
+            "mac": mac,
+        }
+
+    # -- the full controller epoch ------------------------------------------------
+
+    def _controller_for(self, *, per_ue: bool, loc_sample: int, seed: int):
+        """Build (and cache) a SkyRAN controller over this population.
+
+        ``per_ue=False`` registers one representative UE per occupied
+        REM key cell and configures the controller to always stream
+        (``stream_epoch_threshold=1``) — the city path, whose work
+        saturates at the key-grid size.  ``per_ue=True`` registers the
+        *whole* population and pins the materialized pipeline — the
+        per-UE reference the epoch bench measures speedups against.
+
+        Representative positions are ground truth (the generator knows
+        them), so they enter through ``known_positions`` except for a
+        deterministic ``loc_sample``-sized subset that is actually
+        flown for and localized, keeping the localization subsystem in
+        the measured loop without making it O(population).
+        """
+        from repro.core.config import SkyRANConfig
+        from repro.core.controller import SkyRANController
+        from repro.lte.enodeb import ENodeB
+        from repro.lte.ue import UE
+
+        key = (per_ue, int(loc_sample), int(seed))
+        cached = self._controllers.get(key)
+        if cached is not None:
+            return cached
+
+        if per_ue:
+            ids = self.population.ue_ids
+            xyz = self.population.xyz
+        else:
+            _keys, first, _inverse = np.unique(
+                self.population.rem_key, return_index=True, return_inverse=True
+            )
+            ids = self.population.ue_ids[first]
+            xyz = self.population.xyz[first]
+
+        enodeb = ENodeB()
+        for i, ue_id in enumerate(ids):
+            ue = UE(ue_id=int(ue_id), srs_root=(25 + int(ue_id)) % 100 or 25)
+            ue.move_to(float(xyz[i, 0]), float(xyz[i, 1]), float(xyz[i, 2]))
+            enodeb.register_ue(ue)
+
+        n_sample = max(0, min(int(loc_sample), len(ids)))
+        if n_sample:
+            sample = set(
+                int(ids[j])
+                for j in np.unique(
+                    np.round(np.linspace(0, len(ids) - 1, n_sample)).astype(int)
+                )
+            )
+        else:
+            sample = set()
+        known = {
+            int(ue_id): xyz[i].copy()
+            for i, ue_id in enumerate(ids)
+            if int(ue_id) not in sample
+        }
+
+        cfg = SkyRANConfig(
+            stream_epoch_threshold=1 if not per_ue else 10**9,
+            rem_key_pitch_m=float(self.population.rem_key_grid.cell_size),
+        )
+        controller = SkyRANController(
+            self.channel,
+            enodeb,
+            cfg,
+            rem_grid=self.eval_grid,
+            seed=seed,
+            known_positions=known or None,
+        )
+        self._controllers[key] = controller
+        return controller
+
+    def run_controller_epoch(
+        self,
+        *,
+        budget_m: float = 240.0,
+        n_tti: int = 200,
+        n_prb: int = PRB_PER_10MHZ,
+        olla_rounds: int = 4,
+        shard_ues: Optional[int] = None,
+        loc_sample: int = 8,
+        per_ue: bool = False,
+        seed: int = 0,
+    ) -> dict:
+        """One *full* SkyRAN controller epoch over the city population.
+
+        Unlike :meth:`run_epoch` (steady-state placement + MAC only),
+        this drives the real :class:`~repro.core.controller.
+        SkyRANController` end to end — localization on a deduped
+        sample, first-epoch altitude search, REM seeding/measurement,
+        trajectory planning over dedup waypoints, streamed
+        uncertainty-discounted placement — then serves the whole
+        population through OLLA and the city MAC at the chosen
+        position.  ``per_ue=True`` runs the materialized per-UE
+        reference instead (bench baseline; O(population) REM state).
+        """
+        controller = self._controller_for(
+            per_ue=per_ue, loc_sample=loc_sample, seed=seed
+        )
+        with perf.span("city.controller_epoch", track_memory=True):
+            result = controller.run_epoch(budget_m)
+            snr = self.serving_snr_db(result.placement.position.as_array())
+            effective = snr
+            for _ in range(int(olla_rounds)):
+                effective = self.olla_round(snr)
+            rates = throughput_mbps(effective, n_prb=1) * BYTES_PER_TTI_PER_MBPS
+            mac = run_city_mac(
+                self.population, rates, n_tti, n_prb=n_prb, shard_ues=shard_ues
+            )
+        return {
+            "placement": result.placement,
+            "epoch": result,
+            "streamed": result.streamed,
+            "n_rem_groups": result.n_rem_groups,
+            "altitude_m": result.altitude_m,
+            "min_snr_db": result.placement.min_snr_db,
             "mean_snr_db": float(snr.mean()),
             "aggregate_served_mbps": mac.aggregate_served_mbps(),
             "mac": mac,

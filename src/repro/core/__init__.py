@@ -27,7 +27,6 @@ from repro.core.fleet import (
     FleetEvaluation,
     SectorAssignment,
 )
-from repro.core.multi_uav import MultiUAVCoordinator
 
 __all__ = [
     "AssociationPolicy",
@@ -36,7 +35,6 @@ __all__ = [
     "FleetController",
     "FleetEpochResult",
     "FleetEvaluation",
-    "MultiUAVCoordinator",
     "SectorAssignment",
     "SkyRANConfig",
     "PlacementResult",

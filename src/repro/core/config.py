@@ -125,6 +125,20 @@ class SkyRANConfig:
         TTIs simulated per serving-time MAC batch (1000 = 1 s).
     pf_time_constant_tti:
         EWMA horizon of the proportional-fair average (TTIs).
+    stream_epoch_threshold:
+        Connected-UE count at which :meth:`~repro.core.controller.
+        SkyRANController.run_epoch` switches from the materialized
+        per-UE epoch (one REM + full map per UE) to the streamed,
+        REM-key-deduplicated pipeline.  The default keeps every paper
+        scenario (tens of UEs) on the byte-identical materialized
+        path; ``REPRO_STREAM_EPOCH=1``/``0`` overrides the threshold
+        either way.
+    rem_key_pitch_m:
+        Quantization pitch of the streamed path's REM-key dedup: UE
+        estimates in the same pitch cell share one REM and one
+        interpolated map.  At the city generator's REM key pitch
+        (32 m) dedup is exact — city UEs sharing a key cell already
+        share position-keyed REMs.
     """
 
     localization_flight_m: float = 30.0
@@ -159,6 +173,8 @@ class SkyRANConfig:
     epoch_trigger_metric: str = "capacity"
     tti_batch: int = 1000
     pf_time_constant_tti: int = 100
+    stream_epoch_threshold: int = 512
+    rem_key_pitch_m: float = 32.0
 
     def __post_init__(self) -> None:
         if self.localization_flight_m <= 0:
@@ -217,3 +233,7 @@ class SkyRANConfig:
             raise ValueError("tti_batch must be >= 1")
         if self.pf_time_constant_tti < 1:
             raise ValueError("pf_time_constant_tti must be >= 1")
+        if self.stream_epoch_threshold < 1:
+            raise ValueError("stream_epoch_threshold must be >= 1")
+        if self.rem_key_pitch_m <= 0:
+            raise ValueError("rem_key_pitch_m must be positive")

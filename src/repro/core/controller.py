@@ -10,8 +10,9 @@ true UE positions are only used to report localization error.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.core.placement import (
     PlacementResult,
     find_optimal_altitude,
     max_min_placement,
+    uncertainty_penalty_db,
 )
 from repro.core.rem_store import REMStore
 from repro.faults.injector import FaultInjector, as_injector
@@ -35,7 +37,9 @@ from repro.localization.calibration import OffsetCalibrator
 from repro.lte.tof import ToFEstimator
 from repro.lte.ue import UE
 from repro.perf import perf
+from repro.rem.aggregate import aggregate_rem_running
 from repro.rem.interpolate import make_interpolator
+from repro.rem.streaming import streamed_discounted_max_min_placement
 from repro.traffic.simulate import MACBatchResult, MACSimulation
 from repro.trajectory.information import TrajectoryHistory
 from repro.trajectory.random_flight import random_flight
@@ -62,10 +66,19 @@ class EpochResult:
     placement:
         Chosen operating position and predicted worst-UE SNR.
     rem_maps:
-        Interpolated per-UE SNR maps after the measurement flight.
+        Interpolated per-UE SNR maps after the measurement flight.  On
+        the streamed path, UEs sharing a REM-key dedup group share one
+        map *object* — the dict stays per-UE-keyed but holds only
+        ``n_rem_groups`` distinct arrays.
     flight_distance_m / flight_time_s:
         Total overhead (localization + altitude search + measurement
         + reposition) of the epoch.
+    streamed:
+        True when the epoch ran the streamed, REM-key-deduplicated
+        pipeline instead of the materialized per-UE one.
+    n_rem_groups:
+        Distinct REM-key dedup groups this epoch (streamed path only;
+        None on the materialized path).
     """
 
     epoch_index: int
@@ -77,6 +90,8 @@ class EpochResult:
     rem_maps: Dict[int, np.ndarray]
     flight_distance_m: float
     flight_time_s: float
+    streamed: bool = False
+    n_rem_groups: Optional[int] = None
 
 
 @dataclass
@@ -106,6 +121,14 @@ class SkyRANController:
         (localization retry, last-good reuse, blind seeding) arm; when
         None the controller behaves bit-identically to a fault-free
         build.
+    known_positions:
+        Optional externally-supplied UE positions by UE id (e.g. a
+        city generator's ground truth, or an operator database).  UEs
+        present here are never flown for: the localization flight
+        covers only the *unknown* UEs — and is skipped entirely when
+        there are none — while known positions enter the epoch as
+        zero-cost estimates.  ``None`` (the default) leaves every run
+        byte-identical to a build without this field.
     """
 
     channel: ChannelModel
@@ -115,6 +138,7 @@ class SkyRANController:
     uav: Optional[UAV] = None
     seed: int = 0
     faults: Optional[FaultInjector] = None
+    known_positions: Optional[Dict[int, np.ndarray]] = None
 
     def __post_init__(self) -> None:
         terrain_grid = self.channel.terrain.grid
@@ -180,6 +204,38 @@ class SkyRANController:
 
     # -- building blocks -----------------------------------------------------------
 
+    def _ues_to_localize(self) -> List[UE]:
+        """Connected UEs whose position the controller must measure.
+
+        Everything when ``known_positions`` is unset; otherwise only
+        the UEs absent from it.
+        """
+        ues = self.enodeb.connected_ues()
+        if not self.known_positions:
+            return ues
+        return [u for u in ues if u.ue_id not in self.known_positions]
+
+    def _merge_known_positions(
+        self, estimates: Dict[int, np.ndarray], errors: Dict[int, float]
+    ) -> None:
+        """Fold externally-known UE positions into the epoch estimates.
+
+        Errors are still reported against ground truth so the KPI
+        surface stays uniform; a no-op when ``known_positions`` is
+        unset.
+        """
+        if not self.known_positions:
+            return
+        for ue in self.enodeb.connected_ues():
+            kp = self.known_positions.get(ue.ue_id)
+            if kp is None:
+                continue
+            p = np.asarray(kp, dtype=float)
+            estimates[ue.ue_id] = p
+            errors[ue.ue_id] = float(
+                np.hypot(p[0] - ue.position.x, p[1] - ue.position.y)
+            )
+
     def _fly_localization_leg(self) -> tuple:
         """One localization flight + joint solve.
 
@@ -217,7 +273,7 @@ class SkyRANController:
             log = self.uav.fly(traj, self.rng, faults=self.faults)
         finally:
             self.uav.speed_mps = cruise
-        ues = self.enodeb.connected_ues()
+        ues = self._ues_to_localize()
         margin = 20.0  # UEs just outside the nominal box are still real
         bounds = (
             (self.rem_grid.origin_x - margin, self.rem_grid.max_x + margin),
@@ -286,11 +342,17 @@ class SkyRANController:
         untrusted after that falls back to the last-good estimate
         (``fallback.reuse_last_estimate``) or, with no history, a blind
         area-center seed (``fallback.blind_estimate``).
+
+        With ``known_positions`` covering every connected UE there is
+        nothing to measure, so no flight happens at all; the caller
+        merges the known positions afterwards.
         """
+        if self.known_positions and not self._ues_to_localize():
+            return {}, {}, 0.0, 0.0
         estimates, errors, trusted, distance, duration = self._fly_localization_leg()
         if not self._chaos:
             return estimates, errors, distance, duration
-        ues = self.enodeb.connected_ues()
+        ues = self._ues_to_localize()
         retries = 0
         while (
             len(trusted) < len(ues)
@@ -340,6 +402,7 @@ class SkyRANController:
         ceiling-to-optimum leg on top of the repositioning flight.
         """
         ues = self.enodeb.connected_ues()
+        ue_xyz = np.array([ue.xyz for ue in ues])
         start_clock_s = self.uav.clock_s
 
         top = np.array([centroid_xy[0], centroid_xy[1], self.config.max_altitude_m])
@@ -354,9 +417,9 @@ class SkyRANController:
             nonlocal distance
             if abs(float(self.uav.position[2]) - alt) > 1e-9:
                 distance += self.uav.goto(pos, self.rng, faults=self.faults).distance_m
-            losses = [
-                float(self.channel.path_loss_db(pos, ue.xyz)) for ue in ues
-            ]
+            # One batched one-Tx-many-Rx probe; bit-identical to the
+            # per-UE path_loss_db loop by the to_many contract.
+            losses = self.channel.path_loss_to_many(pos, ue_xyz)
             return float(np.mean(losses) + self.rng.normal(0.0, probe_noise))
 
         altitude = find_optimal_altitude(
@@ -381,21 +444,19 @@ class SkyRANController:
         An argmax over estimated maps selects for optimistic
         estimation errors; unmeasured cells carry the largest ones.
         The discount (rate/cap in the config) makes placement prefer
-        cells whose SNR has actually been observed.
+        cells whose SNR has actually been observed.  Delegates to the
+        shared :func:`repro.core.placement.uncertainty_penalty_db`
+        that the streamed placement fold applies band-by-band.
         """
-        rate = self.config.uncertainty_penalty_db_per_m
-        if rate <= 0:
+        penalty = uncertainty_penalty_db(
+            self.rem_grid,
+            rem.measured_mask,
+            self.config.uncertainty_penalty_db_per_m,
+            self.config.uncertainty_penalty_cap_db,
+        )
+        if penalty is None:
             return snr_map
-        mask = rem.measured_mask.ravel()
-        if not mask.any():
-            return snr_map
-        from scipy.spatial import cKDTree
-
-        centers = self.rem_grid.centers_flat()
-        tree = cKDTree(centers[mask])
-        d, _ = tree.query(centers)
-        penalty = np.minimum(rate * d, self.config.uncertainty_penalty_cap_db)
-        return snr_map - penalty.reshape(self.rem_grid.shape)
+        return snr_map - penalty
 
     def _prior_for(self, ue_xyz: np.ndarray) -> np.ndarray:
         """FSPL-seed SNR map for a never-measured UE position.
@@ -408,6 +469,54 @@ class SkyRANController:
 
     # -- the epoch --------------------------------------------------------------------
 
+    def _stream_epoch(self, n_ues: int) -> bool:
+        """Pick the epoch pipeline for a population of ``n_ues``.
+
+        ``REPRO_STREAM_EPOCH=1`` forces the streamed path, ``=0`` the
+        materialized one; otherwise the streamed path engages at
+        ``config.stream_epoch_threshold`` connected UEs.  The default
+        threshold keeps every paper-scale scenario on the materialized
+        path, byte-identical to builds without the streamed pipeline.
+        """
+        env = os.environ.get("REPRO_STREAM_EPOCH")
+        if env == "1":
+            return True
+        if env == "0":
+            return False
+        return n_ues >= self.config.stream_epoch_threshold
+
+    def _rem_groups(
+        self, estimates: Dict[int, np.ndarray]
+    ) -> Tuple[Dict[int, List[int]], Dict[int, int]]:
+        """REM-key dedup groups over the epoch's estimates.
+
+        UEs whose estimates fall in the same ``config.rem_key_pitch_m``
+        cell (anchored at the REM grid origin) share one REM and one
+        interpolated map; the group representative is its smallest UE
+        id.  Returns ``(members by rep id, rep id by UE id)``; reps
+        ascend with ``sorted(members)``.  At the city generator's key
+        pitch this grouping is exact — same-cell UEs already share
+        position-keyed REMs.
+        """
+        pitch = self.config.rem_key_pitch_m
+        x0, y0 = self.rem_grid.origin_x, self.rem_grid.origin_y
+        by_cell: Dict[Tuple[int, int], List[int]] = {}
+        for ue_id in sorted(estimates):
+            p = estimates[ue_id]
+            cell = (
+                int(np.floor((float(p[0]) - x0) / pitch)),
+                int(np.floor((float(p[1]) - y0) / pitch)),
+            )
+            by_cell.setdefault(cell, []).append(ue_id)
+        members: Dict[int, List[int]] = {}
+        rep_of: Dict[int, int] = {}
+        for ids in by_cell.values():
+            rep = ids[0]
+            members[rep] = ids
+            for ue_id in ids:
+                rep_of[ue_id] = rep
+        return members, rep_of
+
     def run_epoch(
         self,
         budget_m: Optional[float] = None,
@@ -419,18 +528,32 @@ class SkyRANController:
         caps the measurement budget by what the battery can fund while
         still reserving service time — the Section 2.5 trade made
         operational.
+
+        Population-size-aware: small scenarios run the materialized
+        per-UE pipeline (byte-identical to previous builds); above
+        ``config.stream_epoch_threshold`` connected UEs (or under
+        ``REPRO_STREAM_EPOCH=1``) the streamed, REM-key-deduplicated
+        pipeline runs the same eight steps with O(groups) REM state
+        and O(grid) map state instead of O(n_ue) of each.
         """
         if not self.enodeb.connected_ues():
             raise RuntimeError("no connected UEs to serve")
         budget = budget_m if budget_m is not None else self.config.measurement_budget_m
         if energy_budget is not None:
             budget = max(energy_budget.clamp(budget, self.uav.battery), 1.0)
+        if self._stream_epoch(len(self.enodeb.connected_ues())):
+            return self._run_epoch_streamed(budget)
+        return self._run_epoch_materialized(budget)
+
+    def _run_epoch_materialized(self, budget: float) -> EpochResult:
+        """The per-UE epoch: one REM and one full map per connected UE."""
         total_distance = 0.0
         t_start = self.uav.clock_s
 
         # Steps 1-4: localization flight and multilateration.
         estimates, errors, dist, _ = self._localization_flight()
         total_distance += dist
+        self._merge_known_positions(estimates, errors)
         if not estimates:
             raise RuntimeError("no connected UEs to serve")
         self._last_estimates = dict(estimates)
@@ -495,14 +618,152 @@ class SkyRANController:
             for ue_id in sorted(rems)
         ]
         placement = max_min_placement(self.rem_grid, placement_maps, self.altitude)
+        return self._finish_epoch(
+            estimates, errors, plan, placement, final_maps, total_distance, t_start
+        )
+
+    def _run_epoch_streamed(self, budget: float) -> EpochResult:
+        """The streamed epoch: REM-key dedup + tile-resident placement.
+
+        Same eight steps, restructured for city-scale populations:
+
+        * UEs are grouped by REM-key quantization of their estimates
+          (:meth:`_rem_groups`); one REM is looked up / seeded /
+          measured *per group* — work and REM state saturate at the
+          key-grid size instead of growing with the population.
+        * Planning consumes a running aggregate
+          (:func:`repro.rem.aggregate.aggregate_rem_running`) of the
+          per-UE map references (group maps, repeated per member, in
+          sorted-UE order — bit-identical to the materialized stack
+          even under collapse) instead of a per-UE map list.
+        * Placement streams row-bands through
+          :func:`repro.rem.streaming.streamed_discounted_max_min_placement`
+          — the per-UE map stack is never materialized.
+
+        With every group a singleton (e.g. a tiny key pitch) the whole
+        epoch — RNG draw schedule included — is bit-identical to
+        :meth:`_run_epoch_materialized`.
+        """
+        total_distance = 0.0
+        t_start = self.uav.clock_s
+
+        # Steps 1-4: localization flight and multilateration.
+        estimates, errors, dist, _ = self._localization_flight()
+        total_distance += dist
+        self._merge_known_positions(estimates, errors)
+        if not estimates:
+            raise RuntimeError("no connected UEs to serve")
+        self._last_estimates = dict(estimates)
+
+        # Step 5: optimal altitude (first epoch only, Section 3.3.1).
+        if self.altitude is None:
+            centroid = np.mean([estimates[k][:2] for k in sorted(estimates)], axis=0)
+            self.altitude, dist, _ = self._search_altitude(centroid)
+            total_distance += dist
+
+        # REM-key dedup + lookup/seeding (Section 3.5), one per group.
+        groups, rep_of = self._rem_groups(estimates)
+        perf.count("epoch.rem_groups", len(groups))
+        rems = {
+            rep: self.rem_store.get_or_create(
+                estimates[rep], self.altitude, self._prior_for
+            )
+            for rep in sorted(groups)
+        }
+
+        # Step 6: plan over the running per-UE aggregate (group maps
+        # broadcast to members) and the dedup waypoints.
+        with perf.span("epoch.stream.plan", track_memory=True):
+            group_maps = {
+                rep: rems[rep].interpolated(method=self.interpolator)
+                for rep in sorted(rems)
+            }
+            agg = aggregate_rem_running(
+                (group_maps[rep_of[ue_id]] for ue_id in sorted(estimates)),
+                self.rem_grid.shape,
+            )
+            del group_maps
+            rep_positions = [estimates[rep] for rep in sorted(groups)]
+            plan = self.planner.plan(
+                self.rem_grid,
+                [],
+                rep_positions,
+                self.uav.position[:2],
+                self.altitude,
+                budget,
+                self.history,
+                aggregate=agg,
+            )
+
+        # Step 7: fly it, measure, update each *group's* REM (through
+        # its representative — same RNG schedule as the materialized
+        # path when every group is a singleton).
+        log = self.uav.fly(plan.trajectory, self.rng, faults=self.faults)
+        total_distance += log.distance_m
+        for ue in self.enodeb.connected_ues():
+            if ue.ue_id not in rems:
+                continue
+            before = rems[ue.ue_id].n_measured_cells
+            xy, snr = collect_snr_samples(
+                log, ue, self.channel, self.rng, faults=self.faults
+            )
+            if len(snr):
+                rems[ue.ue_id].add_measurements(xy, snr)
+            if self._chaos and rems[ue.ue_id].n_measured_cells == before:
+                perf.count("fallback.rem_starved")
+        for rep in sorted(rems):
+            self.history.record(estimates[rep], plan.trajectory)
+            self.rem_store.commit(rems[rep])
+
+        # Step 8: streamed uncertainty-discounted max-min placement.
+        with perf.span("epoch.stream.place", track_memory=True):
+            placement, group_final = streamed_discounted_max_min_placement(
+                self.rem_grid,
+                [rems[rep] for rep in sorted(rems)],
+                self.interpolator,
+                self.altitude,
+                penalty_rate_db_per_m=self.config.uncertainty_penalty_db_per_m,
+                penalty_cap_db=self.config.uncertainty_penalty_cap_db,
+                collect_maps=True,
+            )
+        by_rep = dict(zip(sorted(rems), group_final))
+        final_maps = {
+            ue_id: by_rep[rep_of[ue_id]] for ue_id in sorted(estimates)
+        }
+        return self._finish_epoch(
+            estimates,
+            errors,
+            plan,
+            placement,
+            final_maps,
+            total_distance,
+            t_start,
+            streamed=True,
+            n_rem_groups=len(groups),
+        )
+
+    def _finish_epoch(
+        self,
+        estimates: Dict[int, np.ndarray],
+        errors: Dict[int, float],
+        plan: Optional[PlanResult],
+        placement: PlacementResult,
+        final_maps: Dict[int, np.ndarray],
+        total_distance: float,
+        t_start: float,
+        streamed: bool = False,
+        n_rem_groups: Optional[int] = None,
+    ) -> EpochResult:
+        """Shared epoch tail: reposition, arm the trigger, record.
+
+        Under a traffic-aware config a fresh MAC simulation is built
+        for this epoch's UE set (queue backlogs and generator streams
+        do not survive a re-plan; per-UE streams restart
+        deterministically from (seed, ue_id)).
+        """
         move_log = self.uav.goto(placement.position.as_array(), self.rng, faults=self.faults)
         total_distance += move_log.distance_m
 
-        # Arm the epoch trigger with the achieved aggregate KPI.  Under
-        # a traffic-aware config a fresh MAC simulation is built for
-        # this epoch's UE set (queue backlogs and generator streams do
-        # not survive a re-plan; per-UE streams restart deterministically
-        # from (seed, ue_id)).
         self.last_mac_summary = None
         if self._traffic_enabled:
             self._mac = self._make_mac(
@@ -525,6 +786,8 @@ class SkyRANController:
             rem_maps=final_maps,
             flight_distance_m=total_distance,
             flight_time_s=self.uav.clock_s - t_start,
+            streamed=streamed,
+            n_rem_groups=n_rem_groups,
         )
         self.epoch_index += 1
         return result
@@ -573,12 +836,18 @@ class SkyRANController:
         """Mean full-cell throughput over UEs at the current position.
 
         This is the live KPI the epoch trigger watches while serving.
+        Computed through one batched one-Tx-many-Rx ray pass
+        (:meth:`~repro.channel.model.ChannelModel.snr_to_many`) —
+        bit-identical to the historical per-UE ``snr_db`` loop by the
+        to_many contract and the elementwise CQI mapping.
         """
         ues = self.enodeb.connected_ues()
         if not ues:
             return 0.0
-        snrs = [float(self.channel.snr_db(self.uav.position, ue.xyz)) for ue in ues]
-        return float(np.mean([throughput_mbps(s) for s in snrs]))
+        snrs = self.channel.snr_to_many(
+            self.uav.position, np.array([ue.xyz for ue in ues])
+        )
+        return float(np.mean(throughput_mbps(snrs)))
 
     def _serve_tti_batch(self) -> MACBatchResult:
         """Advance the epoch's MAC simulation by one TTI batch.

@@ -9,7 +9,7 @@ REMs — the max-min placement).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +59,47 @@ def max_min_placement(
         min_snr_db=float(mm[iy, ix]),
         cell=(iy, ix),
     )
+
+
+def uncertainty_penalty_db(
+    grid: GridSpec,
+    measured_mask: np.ndarray,
+    rate_db_per_m: float,
+    cap_db: float,
+    rows: Optional[slice] = None,
+) -> Optional[np.ndarray]:
+    """Distance-to-nearest-measurement placement discount (capped).
+
+    An argmax over estimated maps selects for optimistic estimation
+    errors, and unmeasured cells carry the largest ones; discounting
+    each cell by ``rate * distance to the nearest measured cell``
+    (capped) keeps max-min placement honest.  Returns None when the
+    rate is non-positive or nothing is measured — the caller serves
+    the map undiscounted, exactly as before the discount existed.
+
+    ``rows`` restricts the output to one row-band of the grid.  The
+    nearest-measured-cell query is independent per cell against the
+    global measured set, so a band is bit-identical to slicing the
+    full penalty — the property the streamed placement fold relies on.
+    """
+    if rate_db_per_m <= 0:
+        return None
+    mask = np.asarray(measured_mask, dtype=bool).ravel()
+    if not mask.any():
+        return None
+    from scipy.spatial import cKDTree
+
+    centers = grid.centers_flat()
+    tree = cKDTree(centers[mask])
+    if rows is None:
+        query = centers
+        shape = grid.shape
+    else:
+        band = centers.reshape(grid.ny, grid.nx, 2)[rows]
+        shape = band.shape[:2]
+        query = band.reshape(-1, 2)
+    d, _ = tree.query(query)
+    return np.minimum(rate_db_per_m * d, cap_db).reshape(shape)
 
 
 def find_optimal_altitude(

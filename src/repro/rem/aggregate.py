@@ -8,7 +8,7 @@ max-min placement, Section 3.4).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,38 @@ def aggregate_rem(maps: Sequence[np.ndarray]) -> np.ndarray:
     all_nan = np.isnan(stack).all(axis=0)
     with np.errstate(invalid="ignore"):
         out = np.nansum(stack, axis=0)
+    out[all_nan] = np.nan
+    return out
+
+
+def aggregate_rem_running(
+    maps: Iterable[np.ndarray], shape: Tuple[int, int]
+) -> np.ndarray:
+    """Streaming counterpart of :func:`aggregate_rem` — O(grid) state.
+
+    Consumes the maps one at a time instead of stacking them, so a
+    city-scale epoch can aggregate 10⁵ per-UE maps (shared references
+    under REM-key dedup) without an ``(n_ue, ny, nx)`` stack.
+    Bit-identical to :func:`aggregate_rem` over the same maps in the
+    same order: numpy's axis-0 nansum reduces the (strided) UE axis
+    sequentially in index order, which is exactly this running fold.
+
+    Raises :class:`ValueError` on an empty iterable, like the stacked
+    path.
+    """
+    out = np.zeros(shape, dtype=float)
+    all_nan = np.ones(shape, dtype=bool)
+    seen = False
+    for m in maps:
+        m = np.asarray(m, dtype=float)
+        if m.shape != shape:
+            raise ValueError(f"map shapes differ: {m.shape} vs {shape}")
+        seen = True
+        nan = np.isnan(m)
+        all_nan &= nan
+        out += np.where(nan, 0.0, m)
+    if not seen:
+        raise ValueError("need at least one map")
     out[all_nan] = np.nan
     return out
 

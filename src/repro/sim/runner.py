@@ -64,6 +64,11 @@ class EpochRecord:
     attaches / detaches / rach_collisions / barred:
         Event-layer control-plane counters accumulated since the
         previous epoch (None outside ``scheme="events"``).
+    streamed / rem_groups:
+        Whether the controller ran the streamed REM-key-deduplicated
+        epoch pipeline (False on its materialized path), and how many
+        dedup groups it used (None on materialized epochs).  Both None
+        for controllers without the streamed path and in old traces.
     """
 
     epoch: int
@@ -85,6 +90,8 @@ class EpochRecord:
     detaches: Optional[int] = None
     rach_collisions: Optional[int] = None
     barred: Optional[int] = None
+    streamed: Optional[bool] = None
+    rem_groups: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -235,6 +242,8 @@ def run_epochs(
             served_mbps=None if mac is None else mac["served_mbps"],
             backlog_bytes=None if mac is None else mac["backlog_bytes"],
             dropped_bytes=None if mac is None else mac["dropped_bytes"],
+            streamed=getattr(result, "streamed", None),
+            rem_groups=getattr(result, "n_rem_groups", None),
         )
         records.append(record)
         if on_epoch is not None:

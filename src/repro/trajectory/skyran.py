@@ -100,6 +100,7 @@ class SkyRANPlanner:
         altitude: float,
         budget_m: float,
         history: Optional[TrajectoryHistory] = None,
+        aggregate: Optional[np.ndarray] = None,
     ) -> PlanResult:
         """Compute the epoch's measurement trajectory.
 
@@ -122,15 +123,23 @@ class SkyRANPlanner:
             Per-UE trajectory history for information gain; a fresh
             empty history (everything maximally informative) if
             omitted.
+        aggregate:
+            Precomputed aggregate REM (Step 6.1's cell-wise sum).  The
+            streamed epoch pipeline folds it incrementally
+            (:func:`repro.rem.aggregate.aggregate_rem_running`) instead
+            of materializing the per-UE stack; passing it here skips
+            the internal :func:`aggregate_rem` and lets ``rem_maps`` be
+            empty.  Identical planning when it equals
+            ``aggregate_rem(rem_maps)``.
         """
-        if len(rem_maps) == 0:
+        if aggregate is None and len(rem_maps) == 0:
             raise ValueError("need at least one REM map")
         if budget_m <= 0:
             raise ValueError(f"budget_m must be positive, got {budget_m}")
         history = history or TrajectoryHistory()
         uav_xy = np.asarray(uav_xy, dtype=float).reshape(2)
 
-        agg = aggregate_rem(rem_maps)
+        agg = aggregate_rem(rem_maps) if aggregate is None else np.asarray(aggregate, dtype=float)
         grad = gradient_map(agg)
         iy, ix = high_gradient_cells(grad, self.gradient_quantile)
         if len(iy) == 0:

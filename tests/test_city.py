@@ -319,3 +319,42 @@ def test_population_validation(terrain):
         UEPopulation.sample(terrain, 5, full_buffer_fraction=1.5)
     with pytest.raises(ValueError, match="rem_cell_m"):
         UEPopulation.sample(terrain, 5, rem_cell_m=0.0)
+
+
+# -- full controller epochs over the city population ------------------------------
+
+
+def test_controller_epoch_streams_and_serves(city):
+    out = city.run_controller_epoch(budget_m=120.0, n_tti=10, loc_sample=2)
+    assert out["streamed"] is True
+    keys, _reps, _inv = city.population.unique_rem_cells()
+    # One registered representative per occupied REM key cell; a
+    # *localized* rep's estimate can stray into a neighbouring cell
+    # (possibly colliding), so the group count is bounded, not pinned.
+    assert len(keys) - 2 <= out["n_rem_groups"] <= len(keys)
+    assert np.isfinite(out["min_snr_db"])
+    assert np.isfinite(out["altitude_m"])
+    assert out["aggregate_served_mbps"] >= 0.0
+    assert out["mac"].served_bytes.shape == (city.population.n_ues,)
+
+
+def test_controller_epoch_known_positions_cover_non_sampled_reps(city):
+    ctrl = city._controller_for(per_ue=False, loc_sample=2, seed=0)
+    keys, _reps, _inv = city.population.unique_rem_cells()
+    n_reps = len(keys)
+    assert len(ctrl.enodeb.connected_ues()) == n_reps
+    assert len(ctrl._ues_to_localize()) == 2
+    assert len(ctrl.known_positions) == n_reps - 2
+
+
+def test_controller_epoch_per_ue_reference_is_materialized():
+    small = CityScenario.create(
+        terrain_name="campus", cell_size_m=8.0, n_ues=12, seed=1, eval_cell_m=32.0
+    )
+    out = small.run_controller_epoch(
+        budget_m=80.0, n_tti=5, loc_sample=2, per_ue=True
+    )
+    assert out["streamed"] is False
+    assert out["n_rem_groups"] is None
+    assert len(out["epoch"].rem_maps) == 12
+    assert np.isfinite(out["min_snr_db"])

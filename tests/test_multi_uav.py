@@ -1,13 +1,10 @@
-"""Tests for the fleet control plane (and the deprecated shim)."""
-
-import warnings
+"""Tests for the fleet control plane."""
 
 import numpy as np
 import pytest
 
 from repro.core.config import SkyRANConfig
 from repro.core.fleet import FleetController
-from repro.core.multi_uav import MultiUAVCoordinator
 from repro.lte.throughput import throughput_mbps
 from repro.sim.scenario import Scenario
 
@@ -186,37 +183,15 @@ class TestBatchedKPIs:
             )
 
 
-class TestDeprecatedShim:
-    def test_forwards_and_warns_once(self, world):
-        import repro.core.multi_uav as shim_mod
+class TestShimRemoved:
+    def test_deprecated_coordinator_is_gone(self):
+        # PR 7 turned MultiUAVCoordinator into a warn-once shim; this
+        # PR removes it.  The import path must be dead so stragglers
+        # fail loudly at import time instead of silently diverging
+        # from FleetController.
+        with pytest.raises(ImportError):
+            from repro.core.multi_uav import MultiUAVCoordinator  # noqa: F401
+        import repro.core
 
-        shim_mod._warned = False
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            coord = MultiUAVCoordinator(
-                channel=world.channel,
-                ues=world.ues,
-                n_uavs=2,
-                config=SkyRANConfig(rem_cell_size_m=8.0),
-                seed=1,
-            )
-            MultiUAVCoordinator(
-                channel=world.channel,
-                ues=world.ues,
-                n_uavs=2,
-                config=SkyRANConfig(rem_cell_size_m=8.0),
-                seed=1,
-            )
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert isinstance(coord, FleetController)
-        # The old entry points still work through the shim.
-        assignment = coord.assign_sectors()
-        all_ids = sorted(i for ids in assignment.ue_ids_by_uav.values() for i in ids)
-        assert all_ids == sorted(u.ue_id for u in world.ues)
-
-    def test_rejects_positional_args(self, world):
-        with pytest.raises(TypeError):
-            MultiUAVCoordinator(world.channel, world.ues)
+        assert "MultiUAVCoordinator" not in repro.core.__all__
+        assert not hasattr(repro.core, "MultiUAVCoordinator")

@@ -13,17 +13,27 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.channel.groundtruth import ground_truth_stack, iter_ground_truth_tiles
-from repro.core.placement import max_min_placement
+from repro.core.placement import max_min_placement, uncertainty_penalty_db
 from repro.geo.grid import GridSpec
 from repro.rem.aggregate import aggregate_rem, min_snr_map
 from repro.rem.idw import idw_interpolate, idw_interpolate_rows
-from repro.rem.interpolate import IDWInterpolator
+from repro.rem.interpolate import (
+    IDWInterpolator,
+    available_interpolators,
+    make_interpolator,
+)
+from repro.rem.map import REM
 from repro.rem.streaming import (
     interpolate_tile,
+    row_bands,
     streamed_aggregate_rem,
     streamed_coverage_counts,
+    streamed_discounted_max_min_placement,
+    streamed_discounted_min_map,
     streamed_max_min_placement,
     streamed_min_snr_map,
 )
@@ -211,3 +221,133 @@ def test_interpolate_tile_generic_fallback(small_grid):
     rows = slice(2, 9)
     band = interpolate_tile(Nearest(), small_grid, values, rows)
     assert np.array_equal(band, np.nan_to_num(values, nan=-1.0)[rows])
+
+
+# -- streamed uncertainty-discounted fold vs the materialized path --------------
+
+#: A 10x10 grid keeps every registry interpolator (kriging included)
+#: fast enough for the property sweep.
+_FOLD_GRID = GridSpec.from_extent(40.0, 40.0, cell_size=4.0)
+_FOLD_ALT = 60.0
+
+
+@st.composite
+def _rem_sets(draw):
+    """1-3 REMs: sparse measurement sets (possibly empty) over priors."""
+    n_rems = draw(st.integers(min_value=1, max_value=3))
+    rems = []
+    for i in range(n_rems):
+        prior = np.full(_FOLD_GRID.shape, -5.0 + 2.0 * i)
+        rem = REM(_FOLD_GRID, np.array([5.0 + 10.0 * i, 12.0, 1.5]), _FOLD_ALT, prior=prior)
+        n_meas = draw(st.integers(min_value=0, max_value=12))
+        if n_meas:
+            rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+            xy = rng.uniform(0.5, 39.5, size=(n_meas, 2))
+            rem.add_measurements(xy, rng.normal(5.0, 6.0, n_meas))
+        rems.append(rem)
+    return rems
+
+
+@st.composite
+def _ragged_bands(draw):
+    """Row slices cutting the grid height at arbitrary interior points."""
+    ny = _FOLD_GRID.ny
+    cuts = draw(
+        st.lists(st.integers(min_value=1, max_value=ny - 1), max_size=4, unique=True)
+    )
+    edges = [0] + sorted(cuts) + [ny]
+    return [slice(a, b) for a, b in zip(edges, edges[1:])]
+
+
+def _materialized_discounted(rems, interp, rate, cap):
+    """The controller's materialized Step 8: interpolate, discount, min."""
+    maps, discounted = [], []
+    for rem in rems:
+        full = interp.interpolate(
+            _FOLD_GRID, rem.measured_values(), fallback=rem.prior
+        )
+        maps.append(full)
+        penalty = uncertainty_penalty_db(_FOLD_GRID, rem.measured_mask, rate, cap)
+        discounted.append(full if penalty is None else full - penalty)
+    return np.min(np.stack(discounted), axis=0), maps, discounted
+
+
+class TestStreamedDiscountedFold:
+    @given(
+        _rem_sets(),
+        _ragged_bands(),
+        st.sampled_from(available_interpolators()),
+        st.sampled_from([0.0, 0.4]),
+        st.sampled_from([float("inf"), 3.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_min_map_matches_materialized_bitwise(self, rems, bands, name, rate, cap):
+        interp = make_interpolator(name)
+        mm, maps = streamed_discounted_min_map(
+            _FOLD_GRID,
+            rems,
+            interp,
+            penalty_rate_db_per_m=rate,
+            penalty_cap_db=cap,
+            row_slices=bands,
+            collect_maps=True,
+        )
+        ref_mm, ref_maps, _ = _materialized_discounted(rems, interp, rate, cap)
+        assert np.array_equal(mm, ref_mm, equal_nan=True)
+        assert len(maps) == len(ref_maps)
+        for got, want in zip(maps, ref_maps):
+            assert np.array_equal(got, want, equal_nan=True)
+
+    @given(
+        _rem_sets(),
+        _ragged_bands(),
+        st.sampled_from(available_interpolators()),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_placement_matches_materialized(self, rems, bands, name):
+        interp = make_interpolator(name)
+        placed, _ = streamed_discounted_max_min_placement(
+            _FOLD_GRID,
+            rems,
+            interp,
+            _FOLD_ALT,
+            penalty_rate_db_per_m=0.4,
+            penalty_cap_db=3.0,
+            row_slices=bands,
+        )
+        _, _, discounted = _materialized_discounted(rems, interp, 0.4, 3.0)
+        reference = max_min_placement(_FOLD_GRID, discounted, _FOLD_ALT)
+        assert placed.cell == reference.cell
+        assert placed.min_snr_db == reference.min_snr_db
+        assert np.array_equal(
+            placed.position.as_array(), reference.position.as_array()
+        )
+
+    def test_empty_measurement_rem_uses_prior(self):
+        prior = np.full(_FOLD_GRID.shape, -7.5)
+        rem = REM(_FOLD_GRID, np.array([10.0, 10.0, 1.5]), _FOLD_ALT, prior=prior)
+        mm, maps = streamed_discounted_min_map(
+            _FOLD_GRID,
+            [rem],
+            IDWInterpolator(),
+            penalty_rate_db_per_m=0.5,
+            collect_maps=True,
+        )
+        # Nothing measured: no discount, map is exactly the prior.
+        assert np.array_equal(mm, prior)
+        assert np.array_equal(maps[0], prior)
+
+    def test_rejects_empty_rem_sequence(self):
+        with pytest.raises(ValueError, match="at least one REM"):
+            streamed_discounted_min_map(_FOLD_GRID, [], IDWInterpolator())
+
+    @pytest.mark.parametrize("tile_rows,n_bands", [(1, 10), (3, 4), (10, 1), (64, 1)])
+    def test_row_bands_cover_exactly(self, tile_rows, n_bands):
+        bands = row_bands(_FOLD_GRID.ny, tile_rows)
+        assert len(bands) == n_bands
+        covered = [r for sl in bands for r in range(sl.start, sl.stop)]
+        assert covered == list(range(_FOLD_GRID.ny))
+
+    def test_row_bands_validation(self):
+        with pytest.raises(ValueError, match="tile_rows"):
+            row_bands(10, 0)
