@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Learn smoke: the learned-control subsystem's CI gate, one command.
+
+Five checks, each fatal on failure:
+
+1. **Byte determinism** — exporting the quick ``rem_residual`` table
+   twice, and training + serializing a model twice, produce identical
+   bytes (``.npz`` and JSON sidecars alike).
+2. **Bitwise degeneration** — the ``learned`` interpolator with no
+   model, and with an explicit zero model, reproduces plain IDW's
+   output bit for bit on a real campus measurement pattern.
+3. **The model earns its keep** — the trained model's in-sample MSE on
+   the residual table is at or below the zero model's (= the target
+   variance), and the end-to-end learned REM error on a held-out seed
+   is within tolerance of IDW's (it should usually beat it).
+4. **Graceful chaos** — the learned trigger re-run under an active
+   fault injector fires ``learn.fallback.*`` counters and matches the
+   reactive rule's fire step and endured minimum exactly (the trust
+   gate hands control back rather than predicting through corrupted
+   KPIs).
+5. **Default-path inertness** — importing the default simulation stack
+   in a fresh interpreter does not import ``repro.learn`` and does not
+   register the ``learned`` interpolator: default runs cannot be
+   affected by this subsystem's existence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/learn_smoke.py [--out PATH]
+
+Writes the evidence to ``BENCH_learn.json``; exit status non-zero on
+any gate failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+import repro.learn  # noqa: E402,F401  (registers the "learned" interpolator)
+from repro.faults.injector import as_injector  # noqa: E402
+from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.learn.dataset import (  # noqa: E402
+    build_epoch_kpi,
+    build_rem_residual,
+    export_dataset,
+)
+from repro.learn.evaluate import (  # noqa: E402
+    rem_error_rows,
+    save_trained,
+    train_on,
+    trigger_eval,
+)
+from repro.rem.interpolate import make_interpolator  # noqa: E402
+from repro.sim.scenario import Scenario  # noqa: E402
+
+#: Held-out REM error may exceed IDW's by at most this factor (the
+#: trained model usually *beats* IDW; this bounds a regression without
+#: making the gate flaky across BLAS builds).
+REM_ERROR_TOLERANCE = 1.05
+
+#: Train seeds vs the held-out evaluation seed.
+TRAIN_SEEDS = (0, 1)
+EVAL_SEED = 2
+
+
+def gate_determinism(report: dict) -> None:
+    table = build_rem_residual(seeds=TRAIN_SEEDS, n_ues=3, campaigns_per_ue=2)
+    model = train_on(table, "mlp")
+    blobs = []
+    for i in range(2):
+        with tempfile.TemporaryDirectory() as td:
+            p = export_dataset(table, td, fingerprint="smoke")
+            mp = save_trained(model, table, f"{td}/model.npz")
+            blobs.append(
+                p.read_bytes()
+                + p.with_suffix(".json").read_bytes()
+                + Path(mp).read_bytes()
+                + Path(mp).with_suffix(".json").read_bytes()
+            )
+    if blobs[0] != blobs[1]:
+        raise AssertionError("export/train re-run produced different bytes")
+    rebuilt = build_rem_residual(seeds=TRAIN_SEEDS, n_ues=3, campaigns_per_ue=2)
+    if not (
+        np.array_equal(table.X, rebuilt.X) and np.array_equal(table.y, rebuilt.y)
+    ):
+        raise AssertionError("dataset rebuild is not bitwise deterministic")
+    report["determinism"] = {"table_rows": int(len(table.y)), "bytes_identical": True}
+
+
+def gate_bitwise_degeneration(report: dict) -> None:
+    from repro.learn.adapters import clear_model_cache
+    from repro.learn.constants import REM_FEATURE_NAMES
+    from repro.learn.models import save_model, zero_model
+
+    scenario = Scenario.create("campus", n_ues=2, cell_size=8.0, seed=EVAL_SEED)
+    grid = scenario.terrain.grid.coarsen(2)
+    truth = scenario.truth_maps(60.0, grid)[0]
+    rng = np.random.default_rng(EVAL_SEED)
+    values = np.full(grid.shape, np.nan)
+    idx = rng.choice(grid.num_cells, size=max(6, grid.num_cells // 20), replace=False)
+    values.flat[idx] = truth.flat[idx]
+
+    idw = make_interpolator("idw").interpolate(grid, values)
+    absent = make_interpolator("learned").interpolate(grid, values)
+    if not np.array_equal(idw, absent, equal_nan=True):
+        raise AssertionError("learned (no model) differs from idw")
+    with tempfile.TemporaryDirectory() as td:
+        zp = save_model(
+            zero_model(len(REM_FEATURE_NAMES)),
+            f"{td}/zero.npz",
+            feature_names=REM_FEATURE_NAMES,
+            target_name="residual_db",
+        )
+        clear_model_cache()
+        try:
+            zero = make_interpolator("learned", model_path=str(zp)).interpolate(
+                grid, values
+            )
+        finally:
+            clear_model_cache()
+    if not np.array_equal(idw, zero, equal_nan=True):
+        raise AssertionError("learned (zero model) differs from idw")
+    report["bitwise_degeneration"] = {"cells": int(grid.num_cells), "identical": True}
+
+
+def gate_model_quality(report: dict) -> None:
+    table = build_rem_residual(seeds=TRAIN_SEEDS)
+    model = train_on(table, "mlp")
+    trained_mse = float(np.mean((model.predict(table.X) - table.y) ** 2))
+    zero_mse = float(np.mean(table.y**2))
+    if trained_mse > zero_mse:
+        raise AssertionError(
+            f"trained MSE {trained_mse:.3f} > zero-model MSE {zero_mse:.3f}"
+        )
+    with tempfile.TemporaryDirectory() as td:
+        mp = save_trained(model, table, f"{td}/rem.npz")
+        rows = rem_error_rows("campus", EVAL_SEED, str(mp))
+    errs = {r["interp"]: r["median_err_db"] for r in rows}
+    if errs["learned-zero"] != errs["idw"]:
+        raise AssertionError("zero-model REM error differs from idw")
+    if errs["learned"] > errs["idw"] * REM_ERROR_TOLERANCE:
+        raise AssertionError(
+            f"learned REM error {errs['learned']:.3f} dB exceeds "
+            f"{REM_ERROR_TOLERANCE:.2f}x idw's {errs['idw']:.3f} dB"
+        )
+    report["model_quality"] = {
+        "trained_mse": trained_mse,
+        "zero_mse": zero_mse,
+        "rem_err_db": errs,
+    }
+
+
+def gate_chaos(report: dict) -> None:
+    kpi = build_epoch_kpi(seeds=TRAIN_SEEDS)
+    model = train_on(kpi, "ridge")
+    clean = trigger_eval("campus", EVAL_SEED, model)
+    injector = as_injector(
+        FaultPlan(snr_corrupt_rate=0.3, snr_drop_rate=0.2, seed=EVAL_SEED)
+    )
+    chaos = trigger_eval("campus", EVAL_SEED, model, faults=injector)
+    fallbacks = {
+        k: v
+        for k, v in chaos["learn_counters"].items()
+        if k.startswith("learn.fallback.")
+    }
+    if not fallbacks:
+        raise AssertionError("chaos run fired no learn.fallback.* counters")
+    if chaos["learned_fire"] != chaos["reactive_fire"]:
+        raise AssertionError(
+            "learned trigger under chaos deviated from the reactive rule "
+            f"(fired at {chaos['learned_fire']} vs {chaos['reactive_fire']})"
+        )
+    if chaos["learned_min"] < chaos["reactive_min"]:
+        raise AssertionError(
+            "learned trigger under chaos endured a lower minimum than the "
+            "reactive baseline"
+        )
+    if clean["learned_min"] < clean["reactive_min"]:
+        raise AssertionError(
+            "learned trigger (clean) endured a lower minimum than reactive"
+        )
+    report["chaos"] = {
+        "clean": {k: clean[k] for k in ("reactive_fire", "learned_fire")},
+        "fallbacks": fallbacks,
+        "reactive_min": chaos["reactive_min"],
+        "learned_min": chaos["learned_min"],
+    }
+
+
+def gate_default_inertness(report: dict) -> None:
+    code = (
+        "import sys\n"
+        "import repro.sim.runner, repro.core.controller\n"
+        "from repro.rem.interpolate import available_interpolators\n"
+        "assert not any(m.startswith('repro.learn') for m in sys.modules), "
+        "'default path imported repro.learn'\n"
+        "assert 'learned' not in available_interpolators(), "
+        "'learned registered on the default path'\n"
+        "print('inert')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    if proc.returncode != 0 or "inert" not in proc.stdout:
+        raise AssertionError(
+            f"default-path inertness check failed:\n{proc.stdout}{proc.stderr}"
+        )
+    report["default_inertness"] = True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "artifacts" / "BENCH_learn.json",
+    )
+    args = parser.parse_args()
+
+    report: dict = {"bench": "learn_smoke"}
+    gates = [
+        ("determinism", gate_determinism),
+        ("bitwise_degeneration", gate_bitwise_degeneration),
+        ("model_quality", gate_model_quality),
+        ("chaos", gate_chaos),
+        ("default_inertness", gate_default_inertness),
+    ]
+    status = 0
+    for name, gate in gates:
+        t0 = time.perf_counter()
+        try:
+            gate(report)
+        except AssertionError as exc:
+            print(f"FAIL {name}: {exc}", file=sys.stderr)
+            report[name] = {"error": str(exc)}
+            status = 1
+            break
+        print(f"PASS {name} ({time.perf_counter() - t0:.1f}s)")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
+    print(f"[artifact] {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,11 +116,23 @@ class SkyRANConfig:
         Per-UE RLC buffer bound with tail drop; 0 = unbounded.
     epoch_trigger_metric:
         What the epoch trigger watches while serving: ``"capacity"``
-        (the legacy full-cell mean throughput, load-independent) or
+        (the legacy full-cell mean throughput, load-independent),
         ``"served"`` (aggregate *served* rate from the MAC simulation,
         which diverges from capacity exactly when the offered load
         does not saturate the cell — the paper's Section 3.5 signal
-        computed on real traffic).
+        computed on real traffic), or ``"learned"`` (the capacity KPI
+        plus a :mod:`repro.learn` collapse predictor that can fire the
+        epoch trigger *before* the reactive 10% rule; falls back to
+        the reactive rule whenever the model or its input cannot be
+        trusted).
+    learn_model_path:
+        Path to a serialized REM-residual model for the ``"learned"``
+        interpolator (ignored by the analytic schemes).  None — the
+        default — leaves the learned interpolator bit-identical to
+        plain IDW.
+    learn_trigger_model_path:
+        Path to a serialized epoch-KPI model for the ``"learned"``
+        trigger metric.  None leaves the trigger purely reactive.
     tti_batch:
         TTIs simulated per serving-time MAC batch (1000 = 1 s).
     pf_time_constant_tti:
@@ -171,6 +183,8 @@ class SkyRANConfig:
     traffic_rate_mbps: float = 2.0
     traffic_buffer_bytes: float = 0.0
     epoch_trigger_metric: str = "capacity"
+    learn_model_path: "str | None" = None
+    learn_trigger_model_path: "str | None" = None
     tti_batch: int = 1000
     pf_time_constant_tti: int = 100
     stream_epoch_threshold: int = 512
@@ -224,10 +238,10 @@ class SkyRANConfig:
             raise ValueError("traffic_rate_mbps must be positive")
         if self.traffic_buffer_bytes < 0:
             raise ValueError("traffic_buffer_bytes must be >= 0")
-        if self.epoch_trigger_metric not in ("capacity", "served"):
+        if self.epoch_trigger_metric not in ("capacity", "served", "learned"):
             raise ValueError(
-                "epoch_trigger_metric must be 'capacity' or 'served', "
-                f"got {self.epoch_trigger_metric!r}"
+                "epoch_trigger_metric must be 'capacity', 'served', or "
+                f"'learned', got {self.epoch_trigger_metric!r}"
             )
         if self.tti_batch < 1:
             raise ValueError("tti_batch must be >= 1")

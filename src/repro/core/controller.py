@@ -165,10 +165,21 @@ class SkyRANController:
             debounce=self.config.epoch_debounce,
             metric=self.config.epoch_trigger_metric,
         )
+        if self.config.epoch_trigger_metric == "learned":
+            # Import inside the branch: the default path must never
+            # import repro.learn (byte-identity of default runs).
+            from repro.learn.trigger import make_predictor
+
+            self.trigger.predictor = make_predictor(
+                self.config.learn_trigger_model_path,
+                self.config.epoch_margin,
+                self.faults,
+            )
         self.interpolator = make_interpolator(
             self.config.interpolator,
             power=self.config.idw_power,
             k_neighbors=self.config.idw_neighbors,
+            model_path=self.config.learn_model_path,
         )
         self.altitude: Optional[float] = None
         self.epoch_index = 0

@@ -45,11 +45,19 @@ class EpochTrigger:
     metric:
         What the samples *are*: ``"capacity"`` (full-cell mean
         throughput at the current position — the legacy KPI, blind to
-        load) or ``"served"`` (aggregate served rate from the traffic
+        load), ``"served"`` (aggregate served rate from the traffic
         MAC simulation, which only drops when users actually lose
-        throughput).  The trigger arithmetic is identical; the field
-        exists so records and logs can say which signal armed it and
-        so the controller knows which KPI to feed in.
+        throughput), or ``"learned"`` (the capacity KPI, with a
+        collapse predictor consulted on top of the reactive rule).
+        The reactive arithmetic is identical; the field exists so
+        records and logs can say which signal armed it and so the
+        controller knows which KPI to feed in.
+    predictor:
+        Optional :class:`repro.learn.trigger.CollapsePredictor` (duck
+        typed: anything with ``should_fire(ratios) -> bool``).
+        Consulted only on samples where the reactive rule declines —
+        so with ``predictor=None`` (the default) behaviour is exactly
+        the reactive Section 3.5 trigger, sample for sample.
     """
 
     margin: float = 0.1
@@ -59,6 +67,7 @@ class EpochTrigger:
     metric: str = "capacity"
     history_maxlen: int = 512
     history_dropped: int = 0
+    predictor: Optional[object] = field(default=None, repr=False)
     _breach_streak: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -66,9 +75,10 @@ class EpochTrigger:
             raise ValueError(f"margin must be in (0, 1), got {self.margin}")
         if self.debounce < 1:
             raise ValueError(f"debounce must be >= 1, got {self.debounce}")
-        if self.metric not in ("capacity", "served"):
+        if self.metric not in ("capacity", "served", "learned"):
             raise ValueError(
-                f"metric must be 'capacity' or 'served', got {self.metric!r}"
+                f"metric must be 'capacity', 'served', or 'learned', "
+                f"got {self.metric!r}"
             )
         if self.history_maxlen < 1:
             raise ValueError(
@@ -94,6 +104,10 @@ class EpochTrigger:
         without an intervening :meth:`reset` (the event-driven serving
         loop caps its re-plans) must accumulate ``debounce`` fresh
         breaches before the trigger fires again.
+
+        When a ``predictor`` is wired in, it is consulted exactly on
+        the samples where the reactive rule declines; a predictive
+        fire also clears the streak.
         """
         self.history.append((t_s, value))
         if len(self.history) > self.history_maxlen:
@@ -109,10 +123,20 @@ class EpochTrigger:
         breach = value < (1.0 - self.margin) * self.reference
         if not breach:
             self._breach_streak = 0
-            return False
+            return self._consult_predictor()
         self._breach_streak += 1
         if self._breach_streak < self.debounce:
             perf.count("fallback.epoch_debounced")
+            return self._consult_predictor()
+        self._breach_streak = 0
+        return True
+
+    def _consult_predictor(self) -> bool:
+        """Ask the collapse predictor (if any) on a reactive decline."""
+        if self.predictor is None:
+            return False
+        ratios = [v / self.reference for _, v in self.history]
+        if not self.predictor.should_fire(ratios):
             return False
         self._breach_streak = 0
         return True

@@ -39,6 +39,7 @@ from repro.experiments import (  # noqa: F401  (import side effect: registration
     fig31_num_ues,
     fleet_scale,
     headline,
+    learned_control,
     traffic_load,
 )
 from repro.experiments.registry import _EXPERIMENTS

@@ -79,8 +79,10 @@ def code_fingerprint() -> str:
     """Hash of the code-relevant constants behind every experiment.
 
     Covers the :class:`~repro.core.config.SkyRANConfig` defaults
-    (every operational knob), the channel/link-budget defaults, and
-    the experiment-harness constants — changing any of them changes
+    (every operational knob), the channel/link-budget defaults, the
+    experiment-harness constants, and the learned-control constants
+    (:func:`repro.learn.constants.fingerprint_payload` — feature
+    schemas, RNG lanes, model defaults) — changing any of them changes
     every point key, invalidating the cache wholesale.
     """
     from dataclasses import fields
@@ -89,6 +91,7 @@ def code_fingerprint() -> str:
     from repro.channel.model import ChannelModel
     from repro.core.config import SkyRANConfig
     from repro.experiments import common
+    from repro.learn import constants as learn_constants
 
     channel_defaults = {
         f.name: f.default
@@ -105,6 +108,7 @@ def code_fingerprint() -> str:
             "quick_cell_m": common.QUICK_CELL_M,
             "quick_rem_cell_m": common.QUICK_REM_CELL_M,
         },
+        "learn": learn_constants.fingerprint_payload(),
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
 

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.learn``."""
+
+import sys
+
+from repro.learn.cli import main
+
+sys.exit(main())

@@ -1,0 +1,131 @@
+"""Feature extraction shared by the dataset factory and the adapters.
+
+The one rule of this module: every feature must be computable at
+inference time from controller-visible state alone (REM contents, KPI
+history) with **zero RNG draws** — the dataset factory and the
+inference adapters call the *same* functions, so train and serve can
+never skew.  Feature column orders are pinned in
+:mod:`repro.learn.constants` and versioned by
+``FEATURE_SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geo.grid import GridSpec
+from repro.learn.constants import (
+    FEATURE_K,
+    REM_FEATURE_NAMES,
+    TRIGGER_FEATURE_NAMES,
+    TRIGGER_HORIZON,
+    TRIGGER_WINDOW,
+)
+
+
+def rem_features(
+    grid: GridSpec,
+    values: np.ndarray,
+    base: np.ndarray,
+    prior: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell features for the REM-residual model.
+
+    Parameters
+    ----------
+    grid:
+        The REM grid.
+    values:
+        ``(ny, nx)`` measured map with NaN marking unmeasured cells
+        (the interpolation protocol's input).
+    base:
+        The full IDW-interpolated map the residual rides on.
+    prior:
+        Optional FSPL-seed prior map (the interpolation ``fallback``).
+
+    Returns
+    -------
+    ``(X, missing)`` — ``X`` is ``(n_missing, len(REM_FEATURE_NAMES))``
+    in row-major cell order over the unmeasured cells; ``missing`` is
+    the boolean ``(ny, nx)`` mask selecting them.  Requires at least
+    one measured cell (callers fall back to plain IDW otherwise).
+    """
+    values = np.asarray(values, dtype=float)
+    base = np.asarray(base, dtype=float)
+    measured = ~np.isnan(values)
+    missing = ~measured
+    n_measured = int(measured.sum())
+    if n_measured == 0:
+        raise ValueError("rem_features needs at least one measured cell")
+    n_missing = int(missing.sum())
+    if n_missing == 0:
+        return np.zeros((0, len(REM_FEATURE_NAMES))), missing
+
+    centers = grid.centers_flat()  # row-major (iy, ix) order
+    measured_flat = measured.ravel()
+    tree = cKDTree(centers[measured_flat])
+    measured_vals = values.ravel()[measured_flat]
+
+    query_pts = centers[missing.ravel()]
+    k = min(FEATURE_K, n_measured)
+    dist, idx = tree.query(query_pts, k=k)
+    dist = np.atleast_2d(dist.T).T if dist.ndim == 1 else dist
+    idx = np.atleast_2d(idx.T).T if idx.ndim == 1 else idx
+
+    neigh_vals = measured_vals[idx]
+    idw_db = base[missing]
+    d_nearest = dist[:, 0]
+    d_mean = dist.mean(axis=1)
+    spread = neigh_vals.std(axis=1)
+    if prior is not None:
+        prior_gap = np.asarray(prior, dtype=float)[missing] - idw_db
+    else:
+        prior_gap = np.zeros_like(idw_db)
+    measured_frac = np.full_like(idw_db, n_measured / values.size)
+
+    X = np.column_stack(
+        [idw_db, d_nearest, d_mean, spread, prior_gap, measured_frac]
+    )
+    return X, missing
+
+
+def trigger_features(ratios: np.ndarray) -> np.ndarray:
+    """Features of one or many KPI windows.
+
+    ``ratios`` is ``(TRIGGER_WINDOW,)`` or ``(n, TRIGGER_WINDOW)``,
+    oldest sample first, each a KPI value divided by the epoch
+    reference.  Returns ``(n, len(TRIGGER_FEATURE_NAMES))``.
+    """
+    r = np.atleast_2d(np.asarray(ratios, dtype=float))
+    if r.shape[1] != TRIGGER_WINDOW:
+        raise ValueError(
+            f"expected windows of {TRIGGER_WINDOW} samples, got {r.shape[1]}"
+        )
+    t = np.arange(TRIGGER_WINDOW, dtype=float)
+    t_c = t - t.mean()
+    slope = (r - r.mean(axis=1, keepdims=True)) @ t_c / (t_c @ t_c)
+    return np.column_stack(
+        [r[:, -1], r.mean(axis=1), r.min(axis=1), slope, r[:, -1] - r[:, 0]]
+    )
+
+
+def trace_to_windows(ratios: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice a KPI-ratio trace into (window features, lookahead targets).
+
+    Each row pairs the features of one ``TRIGGER_WINDOW``-sample window
+    with the *minimum* ratio over the following ``TRIGGER_HORIZON``
+    samples — the quantity the learned trigger predicts.  Traces too
+    short for one full window + horizon yield zero rows.
+    """
+    r = np.asarray(ratios, dtype=float).ravel()
+    n = len(r) - TRIGGER_WINDOW - TRIGGER_HORIZON + 1
+    if n <= 0:
+        return np.zeros((0, len(TRIGGER_FEATURE_NAMES))), np.zeros(0)
+    windows = np.lib.stride_tricks.sliding_window_view(r, TRIGGER_WINDOW)[:n]
+    ahead = np.lib.stride_tricks.sliding_window_view(r, TRIGGER_HORIZON)[
+        TRIGGER_WINDOW : TRIGGER_WINDOW + n
+    ]
+    return trigger_features(windows), ahead.min(axis=1)

@@ -1,0 +1,81 @@
+"""Byte-deterministic artifact I/O for the learned-control subsystem.
+
+``np.savez`` stamps zip entries with the current wall clock, so two
+identical exports differ on disk.  The writers here produce ``.npz``
+files that are byte-for-byte functions of their contents alone: entries
+are written uncompressed in sorted order with a pinned DOS timestamp,
+each holding a standard ``.npy`` serialization — ``np.load`` reads them
+like any other ``.npz``.  JSON sidecars go through one
+``sort_keys=True`` dump.  All writes are atomic (temp + ``os.replace``),
+matching :mod:`repro.experiments.artifacts`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+#: Pinned zip-entry timestamp (the DOS epoch).
+_FIXED_DATE = (1980, 1, 1, 0, 0, 0)
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def save_arrays(path: "Path | str", arrays: Dict[str, np.ndarray]) -> Path:
+    """Write a deterministic ``.npz`` of named arrays.
+
+    Entry order, compression, and timestamps are pinned, so the output
+    bytes depend only on the array names and contents.
+    """
+    path = Path(path)
+    buf = io.BytesIO()
+    with zipfile.ZipFile(buf, "w", zipfile.ZIP_STORED) as zf:
+        for name in sorted(arrays):
+            arr = np.asarray(arrays[name])
+            if not arr.flags["C_CONTIGUOUS"]:
+                # NB: not ascontiguousarray — that would promote 0-d
+                # scalars (model intercepts) to shape (1,).
+                arr = np.ascontiguousarray(arr)
+            entry = io.BytesIO()
+            np.lib.format.write_array(entry, arr, allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy", date_time=_FIXED_DATE)
+            zf.writestr(info, entry.getvalue())
+    _atomic_write_bytes(path, buf.getvalue())
+    return path
+
+
+def load_arrays(path: "Path | str") -> Dict[str, np.ndarray]:
+    """Read every array of a ``.npz`` written by :func:`save_arrays`."""
+    with np.load(Path(path), allow_pickle=False) as npz:
+        return {name: npz[name] for name in npz.files}
+
+
+def save_json(path: "Path | str", payload: Dict) -> Path:
+    """Write a byte-stable JSON sidecar (sorted keys, trailing newline)."""
+    path = Path(path)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    _atomic_write_bytes(path, text.encode())
+    return path
+
+
+def load_json(path: "Path | str") -> Dict:
+    with open(Path(path)) as fh:
+        return json.load(fh)

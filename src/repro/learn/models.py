@@ -1,0 +1,309 @@
+"""The model zoo: pure-numpy regressors with a pinned RNG contract.
+
+Two model kinds, both with ``fit``/``predict`` and byte-deterministic
+serialization:
+
+``ridge``
+    Closed-form ridge regression over standardized features.  No RNG
+    at all — training is a single ``np.linalg.solve``.
+``mlp``
+    One-hidden-layer tanh network trained by full-batch gradient
+    descent with a fixed iteration count.  The *only* RNG draws in its
+    life are the weight init, taken from
+    ``SeedSequence(seed, spawn_key=(LEARN_SPAWN_KEY, 3))``; training
+    and inference draw nothing, so ``fit`` on the same data is
+    bit-reproducible and ``predict`` is a pure function.
+
+Serialized artifacts pair a deterministic ``.npz`` of weights with a
+JSON sidecar carrying the feature schema (names + version), the model
+kind and hyperparameters, and the fingerprints of the code that
+produced them; :func:`load_model` refuses schema mismatches loudly
+instead of predicting through a stale feature order.
+
+The zero model — every output weight exactly 0.0 — is the degeneration
+anchor: adapters holding one are contractually bit-identical to their
+baseline (``learned`` interpolation collapses to plain IDW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learn import io as lio
+from repro.learn.constants import (
+    FEATURE_SCHEMA_VERSION,
+    LEARN_SPAWN_KEY,
+    MODEL_DEFAULTS,
+    MODEL_SCHEMA,
+)
+
+#: Numerical floor for feature/target standard deviations.
+_STD_FLOOR = 1e-9
+
+
+def _standardize_stats(X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    mean = X.mean(axis=0)
+    std = np.maximum(X.std(axis=0), _STD_FLOOR)
+    return mean, std
+
+
+@dataclass
+class RidgeModel:
+    """Closed-form ridge regression on standardized features."""
+
+    kind: str = field(default="ridge", init=False)
+    l2: float = MODEL_DEFAULTS["ridge"]["l2"]
+    coef: Optional[np.ndarray] = None
+    intercept: float = 0.0
+    x_mean: Optional[np.ndarray] = None
+    x_std: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeModel":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError(f"{len(X)} rows vs {len(y)} targets")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.x_mean, self.x_std = _standardize_stats(X)
+        Z = (X - self.x_mean) / self.x_std
+        A = Z.T @ Z + self.l2 * np.eye(Z.shape[1])
+        b = Z.T @ y
+        self.coef = np.linalg.solve(A, b)
+        self.intercept = float(y.mean() - (Z.mean(axis=0) @ self.coef))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef is None:
+            raise RuntimeError("model is not fitted")
+        Z = (np.asarray(X, dtype=float) - self.x_mean) / self.x_std
+        return Z @ self.coef + self.intercept
+
+    @property
+    def is_zero(self) -> bool:
+        """True when ``predict`` is identically 0.0."""
+        return (
+            self.coef is not None
+            and not np.any(self.coef)
+            and self.intercept == 0.0
+        )
+
+    def _arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "coef": self.coef,
+            "intercept": np.float64(self.intercept),
+            "x_mean": self.x_mean,
+            "x_std": self.x_std,
+        }
+
+    def _hyperparams(self) -> Dict:
+        return {"l2": self.l2}
+
+    @classmethod
+    def _from_arrays(cls, arrays: Dict, hyper: Dict) -> "RidgeModel":
+        m = cls(l2=float(hyper["l2"]))
+        m.coef = arrays["coef"]
+        m.intercept = float(arrays["intercept"])
+        m.x_mean = arrays["x_mean"]
+        m.x_std = arrays["x_std"]
+        return m
+
+
+@dataclass
+class TinyMLP:
+    """One-hidden-layer tanh regressor, full-batch GD, fixed seed."""
+
+    kind: str = field(default="mlp", init=False)
+    hidden: int = MODEL_DEFAULTS["mlp"]["hidden"]
+    lr: float = MODEL_DEFAULTS["mlp"]["lr"]
+    n_iter: int = MODEL_DEFAULTS["mlp"]["n_iter"]
+    seed: int = MODEL_DEFAULTS["mlp"]["seed"]
+    W1: Optional[np.ndarray] = None
+    b1: Optional[np.ndarray] = None
+    W2: Optional[np.ndarray] = None
+    b2: float = 0.0
+    x_mean: Optional[np.ndarray] = None
+    x_std: Optional[np.ndarray] = None
+    y_mean: float = 0.0
+    y_std: float = 1.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TinyMLP":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError(f"{len(X)} rows vs {len(y)} targets")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        d = X.shape[1]
+        # The pinned init draw schedule: W1 then W2, nothing else, ever.
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(LEARN_SPAWN_KEY, 3))
+        )
+        self.W1 = rng.normal(0.0, 1.0 / np.sqrt(d), (d, self.hidden))
+        self.b1 = np.zeros(self.hidden)
+        self.W2 = rng.normal(0.0, 1.0 / np.sqrt(self.hidden), self.hidden)
+        self.b2 = 0.0
+        self.x_mean, self.x_std = _standardize_stats(X)
+        self.y_mean = float(y.mean())
+        self.y_std = float(max(y.std(), _STD_FLOOR))
+        Z = (X - self.x_mean) / self.x_std
+        t = (y - self.y_mean) / self.y_std
+        n = len(Z)
+        for _ in range(self.n_iter):
+            H = np.tanh(Z @ self.W1 + self.b1)
+            pred = H @ self.W2 + self.b2
+            err = pred - t
+            gW2 = H.T @ err / n
+            gb2 = float(err.mean())
+            dH = np.outer(err, self.W2) * (1.0 - H * H)
+            gW1 = Z.T @ dH / n
+            gb1 = dH.mean(axis=0)
+            self.W2 = self.W2 - self.lr * gW2
+            self.b2 = self.b2 - self.lr * gb2
+            self.W1 = self.W1 - self.lr * gW1
+            self.b1 = self.b1 - self.lr * gb1
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.W1 is None:
+            raise RuntimeError("model is not fitted")
+        Z = (np.asarray(X, dtype=float) - self.x_mean) / self.x_std
+        H = np.tanh(Z @ self.W1 + self.b1)
+        return (H @ self.W2 + self.b2) * self.y_std + self.y_mean
+
+    @property
+    def is_zero(self) -> bool:
+        """True when ``predict`` is identically 0.0."""
+        return (
+            self.W2 is not None
+            and not np.any(self.W2)
+            and self.b2 == 0.0
+            and self.y_mean == 0.0
+        )
+
+    def _arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "W1": self.W1,
+            "b1": self.b1,
+            "W2": self.W2,
+            "b2": np.float64(self.b2),
+            "x_mean": self.x_mean,
+            "x_std": self.x_std,
+            "y_mean": np.float64(self.y_mean),
+            "y_std": np.float64(self.y_std),
+        }
+
+    def _hyperparams(self) -> Dict:
+        return {
+            "hidden": self.hidden,
+            "lr": self.lr,
+            "n_iter": self.n_iter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def _from_arrays(cls, arrays: Dict, hyper: Dict) -> "TinyMLP":
+        m = cls(
+            hidden=int(hyper["hidden"]),
+            lr=float(hyper["lr"]),
+            n_iter=int(hyper["n_iter"]),
+            seed=int(hyper["seed"]),
+        )
+        m.W1 = arrays["W1"]
+        m.b1 = arrays["b1"]
+        m.W2 = arrays["W2"]
+        m.b2 = float(arrays["b2"])
+        m.x_mean = arrays["x_mean"]
+        m.x_std = arrays["x_std"]
+        m.y_mean = float(arrays["y_mean"])
+        m.y_std = float(arrays["y_std"])
+        return m
+
+
+MODEL_KINDS = {"ridge": RidgeModel, "mlp": TinyMLP}
+
+
+def make_model(kind: str, **hyper):
+    """Instantiate an unfitted model of a registered kind."""
+    try:
+        cls = MODEL_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_KINDS))
+        raise ValueError(f"unknown model kind {kind!r} (known: {known})") from None
+    return cls(**hyper)
+
+
+def zero_model(n_features: int) -> RidgeModel:
+    """A model whose ``predict`` is identically 0.0 (the degeneration anchor)."""
+    m = RidgeModel()
+    m.coef = np.zeros(n_features)
+    m.intercept = 0.0
+    m.x_mean = np.zeros(n_features)
+    m.x_std = np.ones(n_features)
+    return m
+
+
+class ModelSchemaError(ValueError):
+    """A serialized model's schema does not match this build."""
+
+
+def save_model(
+    model,
+    path: "Path | str",
+    feature_names: Sequence[str],
+    target_name: str,
+    fingerprint: str = "",
+) -> Path:
+    """Serialize a fitted model (weights ``.npz`` + JSON sidecar).
+
+    ``path`` is the ``.npz`` path; the sidecar lands next to it with a
+    ``.json`` suffix.  Both files are byte-deterministic functions of
+    the model and metadata.
+    """
+    path = Path(path)
+    lio.save_arrays(path, model._arrays())
+    lio.save_json(
+        path.with_suffix(".json"),
+        {
+            "schema": MODEL_SCHEMA,
+            "kind": model.kind,
+            "feature_schema_version": FEATURE_SCHEMA_VERSION,
+            "feature_names": list(feature_names),
+            "target_name": target_name,
+            "hyperparams": model._hyperparams(),
+            "fingerprint": fingerprint,
+        },
+    )
+    return path
+
+
+def load_model(path: "Path | str"):
+    """Load a serialized model, validating its schema.
+
+    Raises :class:`ModelSchemaError` on a schema-tag or
+    feature-schema-version mismatch — an incompatible model must fail
+    loudly, never predict through the wrong feature order.
+    """
+    path = Path(path)
+    meta = lio.load_json(path.with_suffix(".json"))
+    if meta.get("schema") != MODEL_SCHEMA:
+        raise ModelSchemaError(
+            f"{path}: schema {meta.get('schema')!r} != {MODEL_SCHEMA!r}"
+        )
+    if meta.get("feature_schema_version") != FEATURE_SCHEMA_VERSION:
+        raise ModelSchemaError(
+            f"{path}: feature schema v{meta.get('feature_schema_version')} "
+            f"!= this build's v{FEATURE_SCHEMA_VERSION}"
+        )
+    kind = meta.get("kind")
+    if kind not in MODEL_KINDS:
+        raise ModelSchemaError(f"{path}: unknown model kind {kind!r}")
+    arrays = lio.load_arrays(path)
+    model = MODEL_KINDS[kind]._from_arrays(arrays, meta["hyperparams"])
+    model.feature_names = tuple(meta["feature_names"])
+    model.target_name = meta["target_name"]
+    return model

@@ -155,10 +155,22 @@ class KrigingInterpolator:
 _REGISTRY: Dict[str, Callable[..., Interpolator]] = {}
 
 
-def register_interpolator(name: str, factory: Callable[..., Interpolator]) -> None:
-    """Register an interpolator factory under a string name."""
+def register_interpolator(
+    name: str, factory: Callable[..., Interpolator], *, override: bool = False
+) -> None:
+    """Register an interpolator factory under a string name.
+
+    Registering a name that already exists raises unless
+    ``override=True`` — a silently clobbered registration is a config
+    that quietly runs the wrong scheme.
+    """
     if not name:
         raise ValueError("interpolator name must be non-empty")
+    if name in _REGISTRY and not override:
+        raise ValueError(
+            f"interpolator {name!r} is already registered "
+            "(pass override=True to replace it)"
+        )
     _REGISTRY[name] = factory
 
 

@@ -481,6 +481,10 @@ class RunResult:
     fault_counters / fallback_counters:
         ``faults.*`` / ``fallback.*`` perf-counter deltas accumulated
         over this run (empty for fault-free runs).
+    learn_counters:
+        ``learn.*`` perf-counter deltas (predictive fires,
+        ``learn.fallback.*`` refusals, residual applications) for runs
+        using :mod:`repro.learn` components; empty otherwise.
     fleet_records:
         One :class:`FleetEpochRecord` per epoch for ``scheme="fleet"``
         runs; empty otherwise.
@@ -498,6 +502,7 @@ class RunResult:
     records: Tuple[EpochRecord, ...]
     fault_counters: Dict[str, int] = field(default_factory=dict)
     fallback_counters: Dict[str, int] = field(default_factory=dict)
+    learn_counters: Dict[str, int] = field(default_factory=dict)
     fleet_records: Tuple[FleetEpochRecord, ...] = ()
     event_counters: Dict[str, int] = field(default_factory=dict)
     population: Dict[str, int] = field(default_factory=dict)
@@ -673,6 +678,7 @@ def run_simulation(
             fallback_counters={
                 k: v for k, v in deltas.items() if k.startswith("fallback.")
             },
+            learn_counters={k: v for k, v in deltas.items() if k.startswith("learn.")},
             event_counters=dict(sim.counters),
             population=sim.population(),
         )
@@ -716,6 +722,7 @@ def run_simulation(
             fallback_counters={
                 k: v for k, v in deltas.items() if k.startswith("fallback.")
             },
+            learn_counters={k: v for k, v in deltas.items() if k.startswith("learn.")},
             fleet_records=tuple(fleet_records),
         )
     else:
@@ -737,4 +744,5 @@ def run_simulation(
         records=tuple(records),
         fault_counters={k: v for k, v in deltas.items() if k.startswith("faults.")},
         fallback_counters={k: v for k, v in deltas.items() if k.startswith("fallback.")},
+        learn_counters={k: v for k, v in deltas.items() if k.startswith("learn.")},
     )

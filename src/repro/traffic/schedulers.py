@@ -350,10 +350,22 @@ class MaxMinScheduler:
 _REGISTRY: Dict[str, Callable[..., object]] = {}
 
 
-def register_scheduler(name: str, factory: Callable[..., object]) -> None:
-    """Register a scheduler factory under a string name."""
+def register_scheduler(
+    name: str, factory: Callable[..., object], *, override: bool = False
+) -> None:
+    """Register a scheduler factory under a string name.
+
+    Registering a name that already exists raises unless
+    ``override=True`` — a silently clobbered registration is a config
+    that quietly runs the wrong discipline.
+    """
     if not name:
         raise ValueError("scheduler name must be non-empty")
+    if name in _REGISTRY and not override:
+        raise ValueError(
+            f"scheduler {name!r} is already registered "
+            "(pass override=True to replace it)"
+        )
     _REGISTRY[name] = factory
 
 
